@@ -1,0 +1,50 @@
+"""A2 ablation: replication-based fault tolerance vs checkpointing.
+
+Quantifies §I's dismissal of replication: "replication-based schemes
+take up substantial computational resources, and are not economically
+viable for large-scale failures".  For the 55-HAU applications, compares
+the node footprint of k-fault-tolerant active replication against
+checkpointing with a spare pool, and checks rack-failure survivability.
+"""
+
+from repro.core import ReplicationEstimator
+from repro.harness import format_table
+
+HAUS = 55
+SPARES = 8
+RACKS = 4
+
+
+def compute():
+    est = ReplicationEstimator(hau_count=HAUS, racks=RACKS)
+    rows = []
+    for k in (0, 1, 2, 3):
+        cost = est.cost(k)
+        rows.append(
+            [
+                f"k={k}",
+                cost.nodes_required,
+                f"x{cost.extra_network_factor:.0f}",
+                "yes" if cost.survives_rack_failure else "no",
+            ]
+        )
+    return est, rows
+
+
+def test_ablation_replication(benchmark):
+    est, rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    ckpt_nodes = est.checkpoint_footprint(SPARES)
+    print("\n" + format_table(
+        ["replication", "nodes", "network", "survives rack failure"],
+        rows, title="A2 — active replication footprint (55-HAU application)",
+    ))
+    print(f"checkpointing footprint (55 HAUs + {SPARES} spares): {ckpt_nodes} nodes")
+    print(f"break-even k (replication no more expensive): {est.break_even_k(SPARES)}")
+
+    # 1-fault replication already exceeds the checkpointing footprint
+    assert est.cost(1).nodes_required > ckpt_nodes
+    # an 80-node rack failure defeats any affordable replication degree:
+    # surviving a whole-rack loss with replicas requires one replica per
+    # rack, i.e. k+1 >= racks -> 4x the cluster for our 4-rack layout
+    assert est.cost(RACKS - 1).nodes_required == HAUS * RACKS
+    assert est.break_even_k(SPARES) == 0

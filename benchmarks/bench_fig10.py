@@ -1,0 +1,46 @@
+"""Fig. 10: the profiling pass — dynamic HAUs, per-period minima, smax.
+
+Runs BCP without checkpointing, feeds the observed state sizes through
+the §III-C2 profiling machinery and reports the derived alert threshold
+(smax), smin, the bounded relaxation factor and the dynamic-HAU set.
+"""
+
+from repro.harness.experiment import (
+    DEFAULT_WARMUP,
+    DEFAULT_WINDOW,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.harness.figures import default_app_params
+from repro.state import MIN_RELAXATION, StateProfile
+
+
+def profile_bcp():
+    cfg = ExperimentConfig(
+        app="bcp", scheme="none",
+        app_params=default_app_params("bcp", DEFAULT_WINDOW),
+    )
+    res = run_experiment(cfg, trace_state=True)
+    period = DEFAULT_WINDOW / 3.0
+    profile = StateProfile(checkpoint_period=period, min_dynamic_bytes=1e6, startup_skip=0.25)
+    for hau_id, samples in res.state_trace.samples.items():
+        for t, s in samples:
+            profile.observe(hau_id, t, float(s))
+    return profile.result(), period
+
+
+def test_fig10_profiling(benchmark):
+    result, period = benchmark.pedantic(profile_bcp, rounds=1, iterations=1)
+    print(f"\nFig. 10 — profiling (BCP, checkpoint period {period:.0f}s)")
+    print(f"  dynamic HAUs: {result.dynamic_haus}")
+    print(f"  smin = {result.smin / 1e6:.1f} MB   smax = {result.smax / 1e6:.1f} MB")
+    print(f"  relaxation factor = {result.relaxation:.2f} (bounded at {MIN_RELAXATION})")
+    for t, s in result.period_minima:
+        print(f"  period minimum: t={t:8.1f}s  size={s / 1e6:8.1f} MB")
+
+    # the historical-image operators are the dynamic HAUs
+    assert any(h.startswith("H") for h in result.dynamic_haus)
+    # no stateless stage should be classified dynamic
+    assert not any(h.startswith("D") for h in result.dynamic_haus)
+    assert result.smax >= result.smin >= 0
+    assert result.period_minima

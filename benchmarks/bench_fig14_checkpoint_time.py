@@ -1,0 +1,51 @@
+"""Fig. 14: checkpoint time and its breakdown.
+
+Per app: MS-src total wall clock (token propagation overlaps individual
+checkpoints), and for MS-src+ap / MS-src+ap+aa / Oracle the slowest
+individual checkpoint split into token collection / disk I/O / other.
+
+Paper (600 s windows): TMI 61.9 / 22.1 / 6.7 / 5.8 s; BCP 82.9 / 55.7 /
+29.0 / 26.4 s; SignalGuru 151.7 / 133.2 / 27.2 / 24.6 s.  Expected
+shape: disk I/O dominates; +ap cuts time vs MS-src; +aa cuts it hard and
+lands near the Oracle.
+"""
+
+from repro.harness import format_table
+from repro.harness.figures import fig14_checkpoint_time
+
+
+def test_fig14_checkpoint_time(benchmark):
+    data = benchmark.pedantic(fig14_checkpoint_time, rounds=1, iterations=1)
+    for app, per_scheme in data.items():
+        rows = []
+        for scheme in ("ms-src", "ms-src+ap", "ms-src+ap+aa", "oracle"):
+            d = per_scheme.get(scheme, {})
+            rows.append([
+                scheme,
+                f"{d.get('token_collection', float('nan')):.2f}",
+                f"{d.get('disk_io', float('nan')):.2f}",
+                f"{d.get('other', float('nan')):.2f}",
+                f"{d.get('total', float('nan')):.2f}",
+            ])
+        print("\n" + format_table(
+            ["scheme", "token-collect", "disk I/O", "other", "total (s)"],
+            rows, title=f"Fig. 14 — checkpoint time, {app}",
+        ))
+
+        total = {s: per_scheme[s]["total"] for s in per_scheme if per_scheme[s].get("total") == per_scheme[s].get("total")}
+        if {"ms-src", "ms-src+ap", "ms-src+ap+aa", "oracle"} <= set(total):
+            # parallel+async is faster than the serial token cascade
+            assert total["ms-src+ap"] < total["ms-src"]
+            assert total["ms-src+ap+aa"] <= total["ms-src"]
+            ap = per_scheme["ms-src+ap"]
+            # the I/O side of the breakdown dominates the pure-CPU side
+            assert ap["disk_io"] >= ap["other"]
+            # The aa-vs-fixed-time storage-I/O comparison is asserted on
+            # BCP, whose state dynamics are slow enough for the scaled-down
+            # fast-mode windows to resolve; see EXPERIMENTS.md for the
+            # TMI/SignalGuru discussion.
+            if app == "bcp":
+                aa = per_scheme["ms-src+ap+aa"]
+                oracle = per_scheme["oracle"]
+                assert aa["disk_io"] <= ap["disk_io"] * 1.30
+                assert aa["disk_io"] <= oracle["disk_io"] * 2.5

@@ -1,0 +1,37 @@
+"""Shared state for the benchmark suite.
+
+The Fig. 12 / Fig. 13 / headline benches all consume the same
+(expensive) scheme x checkpoint-count sweep; it is computed once per
+session and cached here.  Set ``REPRO_FULL=1`` for paper-scale windows
+(600 s); the default fast mode uses 150 s windows with state sizes
+scaled accordingly (see DESIGN.md).
+"""
+
+import os
+
+import pytest
+
+from repro.harness.figures import fig12_fig13_sweep
+
+_CACHE: dict = {}
+
+SWEEP_COUNTS = [0, 1, 3, 5, 8]
+SWEEP_APPS = ["tmi", "bcp", "signalguru"]
+
+
+def get_sweep():
+    if "sweep" not in _CACHE:
+        _CACHE["sweep"] = fig12_fig13_sweep(
+            apps=SWEEP_APPS, checkpoint_counts=SWEEP_COUNTS
+        )
+    return _CACHE["sweep"]
+
+
+@pytest.fixture(scope="session")
+def sweep():
+    return get_sweep()
+
+
+def pytest_configure(config):
+    mode = "FULL (600s windows)" if os.environ.get("REPRO_FULL") else "fast (150s windows)"
+    print(f"\n[repro benchmarks] measurement mode: {mode}")

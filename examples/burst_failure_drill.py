@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Failure drill: run the full 55-HAU BCP application on a simulated
+56-node cluster, sample failures from the Table-I-calibrated model, kill
+a whole rack mid-run, and watch Meteor Shower recover — then contrast
+with the 1-safe baseline, which loses data under the same burst.
+
+Run:  python examples/burst_failure_drill.py
+"""
+
+from repro.apps import bcp
+from repro.cluster import ClusterSpec
+from repro.core import BaselineScheme, MSSrcAP
+from repro.dsps import DSPSRuntime, RuntimeConfig
+from repro.simulation import Environment
+
+WINDOW = 120.0
+FAIL_AT = 60.0
+
+
+def run(scheme_name: str):
+    env = Environment()
+    app = bcp.build(seed=3, state_scale=0.25)
+    if scheme_name == "baseline":
+        scheme = BaselineScheme(checkpoint_period=30.0, enable_recovery=True)
+    else:
+        scheme = MSSrcAP(checkpoint_times=[25.0, 50.0], enable_recovery=True)
+    runtime = DSPSRuntime(
+        env,
+        app,
+        scheme,
+        RuntimeConfig(
+            seed=3,
+            cluster=ClusterSpec(workers=55, spares=60, racks=4),
+            channel_capacity=16,
+            inbox_capacity=32,
+        ),
+    )
+    runtime.start()
+
+    def rack_burst():
+        yield env.timeout(FAIL_AT)
+        victims = runtime.dc.racks[1].fail_all("rack-power-failure")
+        print(f"  t={env.now:.0f}s: rack1 power failure — {len(victims)} nodes down")
+
+    env.process(rack_burst(), label="drill")
+    env.run(until=WINDOW)
+
+    probe = app.params["probe_prefix"]
+    before = runtime.metrics.stage_throughput(probe, 0.0, FAIL_AT)
+    after = runtime.metrics.stage_throughput(probe, FAIL_AT + 15.0, WINDOW)
+    print(f"  throughput before failure: {before} tuples; after (+15s grace): {after}")
+
+    if scheme_name == "baseline":
+        print(f"  baseline outcome: {len(scheme.recovered)} HAUs recovered, "
+              f"{len(scheme.unrecoverable)} UNRECOVERABLE (retained tuples lost)")
+    else:
+        for rec in scheme.recoveries:
+            print(
+                f"  Meteor Shower global rollback: {rec.haus_recovered} HAUs in "
+                f"{rec.total:.1f}s (disk {rec.disk_io_seconds:.1f}s, "
+                f"{rec.bytes_read / 1e6:.0f} MB of checkpoints read)"
+            )
+    alive = sum(1 for h in runtime.haus.values() if h.node.alive)
+    print(f"  HAUs alive at the end: {alive}/55")
+
+
+def main() -> None:
+    print("=== MS-src+ap under a rack-scale burst ===")
+    run("ms")
+    print("\n=== Baseline (1-safe) under the same burst ===")
+    run("baseline")
+    print(
+        "\nThe baseline recovers only HAUs whose upstream neighbours survived;"
+        "\nvictims that lost their upstream's retained buffer are unrecoverable"
+        "\n— the failure mode that motivates Meteor Shower (paper §II-B1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Quickstart: build a small stream application, run it under Meteor
+Shower (MS-src+ap), inject a correlated two-node failure, and verify
+exactly-once recovery.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import ClusterSpec
+from repro.core import MSSrcAP
+from repro.dsps import (
+    DSPSRuntime,
+    QueryGraph,
+    RuntimeConfig,
+    StreamApplication,
+)
+from repro.dsps.operator import Emit, Operator, SourceOperator
+from repro.dsps.testing import IntervalSource, VerifySink, WindowSum
+from repro.simulation import Environment
+
+
+def build_app(holder: dict) -> StreamApplication:
+    """source -> window-sum -> doubler -> sink."""
+
+    class Doubler(Operator):
+        def on_tuple(self, port, tup):
+            return [Emit(payload=tup.payload * 2, size=tup.size, key=tup.key)]
+
+    def make_sink():
+        sink = VerifySink()
+        holder["sink"] = sink
+        return [sink]
+
+    g = QueryGraph()
+    g.add_hau("source", lambda: [IntervalSource(count=200, interval=0.05)], is_source=True)
+    g.add_hau("window", lambda: [WindowSum(window=10)])
+    g.add_hau("double", lambda: [Doubler()])
+    g.add_hau("sink", make_sink, is_sink=True)
+    g.connect("source", "window")
+    g.connect("window", "double")
+    g.connect("double", "sink")
+    return StreamApplication(name="quickstart", graph=g)
+
+
+def run(inject_failure: bool) -> list:
+    env = Environment()
+    holder: dict = {}
+    app = build_app(holder)
+    scheme = MSSrcAP(checkpoint_times=[3.0, 7.0], enable_recovery=inject_failure)
+    runtime = DSPSRuntime(
+        env,
+        app,
+        scheme,
+        RuntimeConfig(seed=7, cluster=ClusterSpec(workers=4, spares=4, racks=2)),
+    )
+    runtime.start()
+
+    if inject_failure:
+
+        def burst():
+            yield env.timeout(8.0)
+            print(f"  t={env.now:.1f}s: killing the nodes hosting 'window' and 'double'")
+            runtime.haus["window"].node.fail("demo-burst")
+            runtime.haus["double"].node.fail("demo-burst")
+
+        env.process(burst())
+
+    env.run(until=60.0)
+
+    if inject_failure:
+        for rec in scheme.recoveries:
+            print(
+                f"  recovered {rec.haus_recovered} HAUs in {rec.total:.2f}s "
+                f"(disk {rec.disk_io_seconds:.2f}s, reconnect {rec.reconnect_seconds:.2f}s, "
+                f"{rec.bytes_read / 1e6:.1f} MB read)"
+            )
+    print(f"  sink received {holder['sink'].received_count} tuples")
+    return holder["sink"].payload_log
+
+
+def main() -> None:
+    print("Clean run (no failures):")
+    clean = run(inject_failure=False)
+
+    print("\nRun with a correlated burst failure at t=8s:")
+    failed = run(inject_failure=True)
+
+    print("\nExactly-once check:", "PASS" if clean == failed else "FAIL")
+    assert clean == failed, "recovered output differs from the failure-free run!"
+    print(f"First window sums: {clean[:5]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""The paper's three evaluation applications (§II-B2), built for real.
+
+* :mod:`repro.apps.tmi` — Transportation Mode Inference: k-means over
+  windowed phone-position streams (Fig. 2, 55 HAUs).
+* :mod:`repro.apps.bcp` — Bus Capacity Prediction: camera people
+  counting with per-stop historical images cleared on bus arrivals
+  (Fig. 3, 55 HAUs).
+* :mod:`repro.apps.signalguru` — traffic-signal transition prediction
+  from windshield iPhones: colour/shape/motion filtering with per-
+  intersection frame retention (Fig. 4, 55 HAUs).
+
+Each module exposes ``build(seed, **params) -> StreamApplication`` plus
+an ``AppProfile`` describing its paper-reported state-size envelope.
+The kernels (k-means, people counting, SVM) are genuinely computed on
+synthetic data shaped like the paper's datasets; tuple/state sizes are
+nominal bytes calibrated to Fig. 5 (see DESIGN.md substitutions).
+"""
+
+from repro.apps.base import AppProfile, SizedPayload
+from repro.apps import tmi, bcp, signalguru
+
+APPS = {
+    "tmi": tmi,
+    "bcp": bcp,
+    "signalguru": signalguru,
+}
+
+__all__ = ["AppProfile", "SizedPayload", "APPS", "tmi", "bcp", "signalguru"]

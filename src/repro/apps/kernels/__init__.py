@@ -1,0 +1,22 @@
+"""Real computational kernels behind the application operators."""
+
+from repro.apps.kernels.kmeans import kmeans, assign_clusters
+from repro.apps.kernels.vision import (
+    make_frame,
+    count_people,
+    color_filter,
+    shape_filter,
+    frame_difference,
+)
+from repro.apps.kernels.svm import LinearSVM
+
+__all__ = [
+    "kmeans",
+    "assign_clusters",
+    "make_frame",
+    "count_people",
+    "color_filter",
+    "shape_filter",
+    "frame_difference",
+    "LinearSVM",
+]

@@ -1,0 +1,57 @@
+"""Deterministic Lloyd's k-means — the kernel of TMI (§II-B2).
+
+"The kernel of TMI is the k-means clustering algorithm.  The k-means
+operators manipulate data in batches": within each N-minute window the
+operator pools speed/acceleration features and clusters them into the
+four transportation modes (driving, bus, walking, still) at the window
+boundary.
+
+Vectorised numpy throughout (per the HPC guides: no Python loops over
+points); deterministic initialisation (evenly spaced sorted seeds) so a
+recovered operator reproduces the failed one's output bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _init_centroids(points: np.ndarray, k: int) -> np.ndarray:
+    """Deterministic seeding: points at evenly spaced ranks of the first
+    feature — stable under permutation of the input batch."""
+    order = np.argsort(points[:, 0], kind="stable")
+    idx = order[np.linspace(0, len(points) - 1, k).astype(int)]
+    return points[idx].astype(float).copy()
+
+
+def kmeans(
+    points: np.ndarray, k: int = 4, iterations: int = 10
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster ``points`` (n, d); returns (centroids (k, d), labels (n,)).
+
+    Fixed iteration count keeps the work per window deterministic and
+    bounded; empty clusters keep their previous centroid.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or len(points) == 0:
+        raise ValueError("points must be a non-empty (n, d) array")
+    k = min(k, len(points))
+    centroids = _init_centroids(points, k)
+    labels = np.zeros(len(points), dtype=int)
+    for _ in range(iterations):
+        # squared distances via broadcasting: (n, k)
+        d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        labels = d2.argmin(axis=1)
+        for j in range(k):
+            members = points[labels == j]
+            if len(members):
+                centroids[j] = members.mean(axis=0)
+    return centroids, labels
+
+
+def assign_clusters(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid assignment (used when applying a learnt model)."""
+    points = np.asarray(points, dtype=float)
+    centroids = np.asarray(centroids, dtype=float)
+    d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    return d2.argmin(axis=1)

@@ -1,0 +1,140 @@
+"""Data-center topology: racks, power domains, spare nodes.
+
+The paper's failure study (Table I / §II-B1) is about a 2400+-node Google
+data center organised as 30+ racks of ~80 blade servers; its evaluation
+runs on 56 EC2 nodes.  :class:`DataCenter` supports both: an arbitrary
+number of racks, a shared-storage node, and a pool of spare nodes used to
+restart HAUs after failures (the paper restarts failed HAUs "on other
+healthy nodes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.cluster.channel import Channel, DEFAULT_LATENCY
+from repro.cluster.node import (
+    DEFAULT_CORES,
+    DEFAULT_DISK_BW,
+    DEFAULT_NIC_BW,
+    Node,
+)
+from repro.simulation.core import Environment, SimulationError
+
+
+@dataclass
+class ClusterSpec:
+    """Shape and hardware parameters of a simulated cluster."""
+
+    workers: int = 55
+    spares: int = 8
+    racks: int = 4
+    cores_per_node: int = DEFAULT_CORES
+    nic_bw: float = DEFAULT_NIC_BW
+    # 2012 EC2 m1-class instance storage / EBS: the paper's Fig. 14/16
+    # checkpoint and recovery times imply ~40 MB/s effective at the shared
+    # storage node and ~60 MB/s on local instance disks.
+    disk_bw: float = 60_000_000.0
+    storage_disk_bw: float = 40_000_000.0
+    latency: float = DEFAULT_LATENCY
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("cluster needs at least one worker")
+        if self.racks < 1:
+            raise ValueError("cluster needs at least one rack")
+
+
+class Rack:
+    """A failure-correlation domain (top-of-rack switch + power feed)."""
+
+    def __init__(self, rack_id: str):
+        self.rack_id = rack_id
+        self.nodes: list[Node] = []
+
+    def fail_all(self, cause: str = "rack-failure") -> list[Node]:
+        """Rack switch/power failure: every hosted node fail-stops."""
+        victims = [n for n in self.nodes if n.alive]
+        for node in victims:
+            node.fail(cause)
+        return victims
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Rack {self.rack_id} nodes={len(self.nodes)}>"
+
+
+class DataCenter:
+    """Nodes + racks + storage node + spare pool + channel factory."""
+
+    def __init__(self, env: Environment, spec: Optional[ClusterSpec] = None):
+        self.env = env
+        self.spec = spec or ClusterSpec()
+        self.racks: list[Rack] = [Rack(f"rack{i}") for i in range(self.spec.racks)]
+        self.workers: list[Node] = []
+        self.spares: list[Node] = []
+        self._channels: list[Channel] = []
+
+        def make(node_id: str, rack: Rack, disk_bw: float) -> Node:
+            node = Node(
+                env,
+                node_id,
+                rack=rack.rack_id,
+                cores=self.spec.cores_per_node,
+                nic_bw=self.spec.nic_bw,
+                disk_bw=disk_bw,
+            )
+            rack.nodes.append(node)
+            return node
+
+        for i in range(self.spec.workers):
+            rack = self.racks[i % self.spec.racks]
+            self.workers.append(make(f"w{i}", rack, self.spec.disk_bw))
+        for i in range(self.spec.spares):
+            rack = self.racks[i % self.spec.racks]
+            self.spares.append(make(f"spare{i}", rack, self.spec.disk_bw))
+        # Storage (and controller) node lives in rack 0, faster disks.
+        self.storage_node = make("storage", self.racks[0], self.spec.storage_disk_bw)
+
+    # -- lookups -----------------------------------------------------------------
+    @property
+    def all_nodes(self) -> list[Node]:
+        return self.workers + self.spares + [self.storage_node]
+
+    def node(self, node_id: str) -> Node:
+        for n in self.all_nodes:
+            if n.node_id == node_id:
+                return n
+        raise KeyError(node_id)
+
+    def rack_of(self, node: Node) -> Rack:
+        for rack in self.racks:
+            if node in rack.nodes:
+                return rack
+        raise KeyError(node.node_id)
+
+    def alive_workers(self) -> list[Node]:
+        return [n for n in self.workers if n.alive]
+
+    def claim_spare(self) -> Node:
+        """Take a healthy spare out of the pool (for HAU restart)."""
+        for i, node in enumerate(self.spares):
+            if node.alive:
+                return self.spares.pop(i)
+        raise SimulationError("no healthy spare nodes left")
+
+    def spares_available(self) -> int:
+        return sum(1 for n in self.spares if n.alive)
+
+    # -- channels ----------------------------------------------------------------
+    def connect(
+        self, src: Node, dst: Node, name: str = "", capacity: float = float("inf")
+    ) -> Channel:
+        chan = Channel(
+            self.env, src, dst, latency=self.spec.latency, name=name, capacity=capacity
+        )
+        self._channels.append(chan)
+        return chan
+
+    def channels(self) -> Iterator[Channel]:
+        return iter(self._channels)

@@ -1,0 +1,72 @@
+"""Replication-based fault tolerance: the resource-cost comparison.
+
+The paper dismisses replication-based schemes ([1,2,3]) because running
+k+1 replicas of every operator "takes up substantial computational
+resources, and [is] not economically viable for large-scale failures".
+This module quantifies that argument for the ablation bench (A2): given
+an application and a fault-tolerance target, how many nodes / how much
+CPU does active replication cost versus checkpointing?
+
+It is an analytical estimator (no replicated execution): replication's
+common-case cost model is simple enough — k extra copies of every HAU's
+CPU and network load plus input duplication to every replica — that a
+closed form is more honest than a simulated one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ReplicationCost:
+    k: int
+    nodes_required: int
+    cpu_copies: int
+    extra_network_factor: float
+    survives_rack_failure: bool
+
+    def overhead_vs_single(self) -> float:
+        """Fractional extra resource vs the unreplicated deployment."""
+        return float(self.k)
+
+
+class ReplicationEstimator:
+    """k-fault-tolerant active replication cost for a given application."""
+
+    def __init__(self, hau_count: int, racks: int = 4):
+        if hau_count < 1:
+            raise ValueError("hau_count must be >= 1")
+        self.hau_count = hau_count
+        self.racks = racks
+
+    def cost(self, k: int) -> ReplicationCost:
+        """Cost of tolerating ``k`` simultaneous failures via replication.
+
+        Each of the k+1 replicas of an HAU must live on a distinct node
+        (and, to survive rack failures, a distinct rack), so the footprint
+        is (k+1) x HAUs.  Every input stream is duplicated to all
+        replicas: network traffic scales by k+1 as well.
+        """
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        replicas = k + 1
+        return ReplicationCost(
+            k=k,
+            nodes_required=self.hau_count * replicas,
+            cpu_copies=self.hau_count * replicas,
+            extra_network_factor=float(replicas),
+            survives_rack_failure=replicas <= self.racks,
+        )
+
+    def checkpoint_footprint(self, spare_nodes: int) -> int:
+        """Checkpointing's footprint: the working set plus a spare pool."""
+        return self.hau_count + spare_nodes
+
+    def break_even_k(self, spare_nodes: int) -> int:
+        """Largest k for which replication is no more expensive than
+        checkpointing with the given spare pool (usually 0)."""
+        k = 0
+        while self.cost(k + 1).nodes_required <= self.checkpoint_footprint(spare_nodes):
+            k += 1
+        return k

@@ -1,0 +1,47 @@
+"""Distributed Stream Processing System core.
+
+Implements the paper's execution model (§II-A): operators grouped into
+High Availability Units (HAUs), each managed by a Stream Process Engine
+(SPE) on a node; tuples flow along a directed acyclic *query network*.
+
+The checkpointing schemes in :mod:`repro.core` plug into
+:class:`HAURuntime` through a small hook interface
+(:class:`SchemeHooks`) — tokens, preservation and state snapshots are
+scheme concerns; the runtime provides the mechanics (port blocking,
+intake pausing, backlog snapshots, emission).
+"""
+
+from repro.dsps.tuples import DataTuple, Token, StreamItem, TOKEN_SIZE
+from repro.dsps.operator import (
+    Operator,
+    SourceOperator,
+    SinkOperator,
+    Emit,
+    OperatorContext,
+)
+from repro.dsps.graph import QueryGraph, HAUSpec, EdgeSpec, GraphError
+from repro.dsps.hau import HAURuntime, SchemeHooks
+from repro.dsps.application import StreamApplication
+from repro.dsps.runtime import CheckpointScheme, DSPSRuntime, RuntimeConfig
+
+__all__ = [
+    "DataTuple",
+    "Token",
+    "StreamItem",
+    "TOKEN_SIZE",
+    "Operator",
+    "SourceOperator",
+    "SinkOperator",
+    "Emit",
+    "OperatorContext",
+    "QueryGraph",
+    "HAUSpec",
+    "EdgeSpec",
+    "GraphError",
+    "HAURuntime",
+    "SchemeHooks",
+    "CheckpointScheme",
+    "StreamApplication",
+    "DSPSRuntime",
+    "RuntimeConfig",
+]

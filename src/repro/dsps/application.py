@@ -1,0 +1,36 @@
+"""Stream application: a validated query network plus identity.
+
+Thin value object binding a :class:`QueryGraph` to a name; the
+application factories in :mod:`repro.apps` return these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.dsps.graph import QueryGraph
+
+
+@dataclass
+class StreamApplication:
+    """A named, validated stream application."""
+
+    name: str
+    graph: QueryGraph
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.graph.validate()
+
+    @property
+    def hau_count(self) -> int:
+        return len(self.graph)
+
+    def describe(self) -> str:
+        srcs = len(self.graph.sources())
+        sinks = len(self.graph.sinks())
+        return (
+            f"{self.name}: {self.hau_count} HAUs "
+            f"({srcs} sources, {sinks} sinks, {len(self.graph.edges)} edges)"
+        )

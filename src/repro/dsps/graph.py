@@ -1,0 +1,163 @@
+"""Query network: the DAG of HAUs and typed edges between them.
+
+§II-A: "A directed acyclic graph, termed query network, specifies the
+producer-consumer relations between operators."  Each HAU here hosts a
+chain of one or more operators (the paper's evaluation uses one operator
+per HAU); edges carry an output-port and input-port index plus an
+optional routing mode for fan-out groups (broadcast vs key-hash, e.g.
+"each GoogleMap operator connects to all Group operators").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import networkx as nx
+
+from repro.dsps.operator import Operator
+
+
+class GraphError(Exception):
+    """Malformed query network."""
+
+
+@dataclass
+class HAUSpec:
+    """Blueprint for one High Availability Unit.
+
+    ``make_operators`` is a factory (re-invoked when the HAU is restarted
+    on a spare node after a failure) returning the operator chain.
+    """
+
+    hau_id: str
+    make_operators: Callable[[], list[Operator]]
+    is_source: bool = False
+    is_sink: bool = False
+
+
+@dataclass
+class EdgeSpec:
+    """A stream between two HAUs."""
+
+    src: str
+    dst: str
+    src_port: int = 0
+    dst_port: int = 0
+    routing: str = "broadcast"  # "broadcast" | "hash" — for fan-out groups
+
+    @property
+    def edge_id(self) -> str:
+        return f"{self.src}[{self.src_port}]->{self.dst}[{self.dst_port}]"
+
+
+class QueryGraph:
+    """Builder + validator for a stream application's query network."""
+
+    def __init__(self):
+        self.haus: dict[str, HAUSpec] = {}
+        self.edges: list[EdgeSpec] = []
+
+    # -- construction ------------------------------------------------------------
+    def add_hau(
+        self,
+        hau_id: str,
+        make_operators: Callable[[], list[Operator]],
+        is_source: bool = False,
+        is_sink: bool = False,
+    ) -> HAUSpec:
+        if hau_id in self.haus:
+            raise GraphError(f"duplicate HAU id {hau_id!r}")
+        spec = HAUSpec(hau_id, make_operators, is_source=is_source, is_sink=is_sink)
+        self.haus[hau_id] = spec
+        return spec
+
+    def connect(
+        self,
+        src: str,
+        dst: str,
+        src_port: int = 0,
+        dst_port: int = 0,
+        routing: str = "broadcast",
+    ) -> EdgeSpec:
+        for end in (src, dst):
+            if end not in self.haus:
+                raise GraphError(f"unknown HAU {end!r}")
+        if routing not in ("broadcast", "hash"):
+            raise GraphError(f"unknown routing mode {routing!r}")
+        edge = EdgeSpec(src, dst, src_port, dst_port, routing)
+        if any(e.edge_id == edge.edge_id for e in self.edges):
+            raise GraphError(f"duplicate edge {edge.edge_id}")
+        self.edges.append(edge)
+        return edge
+
+    # -- queries -------------------------------------------------------------------
+    def out_edges(self, hau_id: str) -> list[EdgeSpec]:
+        return [e for e in self.edges if e.src == hau_id]
+
+    def in_edges(self, hau_id: str) -> list[EdgeSpec]:
+        return [e for e in self.edges if e.dst == hau_id]
+
+    def upstream(self, hau_id: str) -> list[str]:
+        return sorted({e.src for e in self.in_edges(hau_id)})
+
+    def downstream(self, hau_id: str) -> list[str]:
+        return sorted({e.dst for e in self.out_edges(hau_id)})
+
+    def sources(self) -> list[str]:
+        return sorted(h for h, s in self.haus.items() if s.is_source)
+
+    def sinks(self) -> list[str]:
+        return sorted(h for h, s in self.haus.items() if s.is_sink)
+
+    def to_networkx(self) -> nx.DiGraph:
+        g = nx.DiGraph()
+        g.add_nodes_from(self.haus)
+        for e in self.edges:
+            g.add_edge(e.src, e.dst)
+        return g
+
+    def topological_order(self) -> list[str]:
+        return list(nx.topological_sort(self.to_networkx()))
+
+    # -- validation -------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the network is a usable DAG.
+
+        * acyclic (a *query network* is a DAG by definition);
+        * sources have no in-edges and at least one out-edge;
+        * sinks have no out-edges;
+        * every non-source HAU is reachable from some source;
+        * input ports of each HAU are contiguous 0..k-1.
+        """
+        if not self.haus:
+            raise GraphError("empty graph")
+        g = self.to_networkx()
+        if not nx.is_directed_acyclic_graph(g):
+            raise GraphError("query network contains a cycle")
+        srcs = self.sources()
+        if not srcs:
+            raise GraphError("no source HAUs")
+        for hau_id, spec in self.haus.items():
+            ins = self.in_edges(hau_id)
+            outs = self.out_edges(hau_id)
+            if spec.is_source and ins:
+                raise GraphError(f"source {hau_id} has inbound edges")
+            if spec.is_source and not outs:
+                raise GraphError(f"source {hau_id} has no outbound edges")
+            if spec.is_sink and outs:
+                raise GraphError(f"sink {hau_id} has outbound edges")
+            if not spec.is_source and not ins:
+                raise GraphError(f"non-source {hau_id} has no inbound edges")
+            ports = sorted({e.dst_port for e in ins})
+            if ports and ports != list(range(len(ports))):
+                raise GraphError(f"{hau_id} input ports not contiguous: {ports}")
+        reachable = set(srcs)
+        for s in srcs:
+            reachable |= nx.descendants(g, s)
+        unreachable = set(self.haus) - reachable
+        if unreachable:
+            raise GraphError(f"unreachable HAUs: {sorted(unreachable)}")
+
+    def __len__(self) -> int:
+        return len(self.haus)

@@ -1,0 +1,535 @@
+"""HAU runtime: the SPE loop hosting one HAU's operator chain on a node.
+
+This is where the paper's execution semantics live:
+
+* **Per-edge FIFO intake with backpressure.** Each inbound edge has its
+  own reliable channel; a receiver process moves deliveries into a
+  bounded inbox.  When the HAU stalls (e.g. a synchronous checkpoint),
+  the inbox fills, channel buffers fill, and upstream sends block — the
+  cascading disruption the paper measures in Fig. 15.
+* **Token alignment.** When the main loop dequeues a token for edge *e*,
+  edge *e* is blocked: subsequent tuples from *e* are held back, while
+  other edges keep flowing ("HAU 5 then stops processing tuples from
+  HAU 3 ... can still process tuples from HAU 4", §III-A).  The hosted
+  checkpoint scheme decides what happens when tokens have arrived on all
+  edges.
+* **Stream-boundary snapshots.** ``pre_token_backlog`` captures, per
+  edge, the tuples that *precede* the token but are not yet processed —
+  part of the individual checkpoint, so that on recovery no pre-token
+  tuple is lost (the upstream will not regenerate them).
+
+Scheme integration is through :class:`SchemeHooks`; the runtime itself is
+scheme-agnostic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.cluster.channel import Channel, ChannelClosedError
+from repro.cluster.node import Node
+from repro.dsps.graph import EdgeSpec, HAUSpec
+from repro.dsps.operator import Emit, Operator, OperatorContext, SinkOperator, SourceOperator
+from repro.dsps.tuples import DataTuple, Token, is_token
+from repro.simulation.core import Environment, Interrupt
+from repro.simulation.resources import Gate, Store
+
+DEFAULT_INBOX_CAPACITY = 128
+IDLE_SOURCE_POLL = 0.05  # safe-point poll for sources with no pending data
+SOURCE_DELAY_CHUNK = 0.25  # max wait between source safe-points
+
+
+class _Nudge:
+    """Sentinel inbox item that wakes an idle main loop so it passes a
+    scheme safe-point (see :meth:`HAURuntime.request_safepoint`)."""
+
+    __slots__ = ()
+
+
+_NUDGE = _Nudge()
+
+
+class SchemeHooks:
+    """Hook surface a checkpoint scheme implements (all optional).
+
+    Generator-valued hooks are driven with ``yield from`` inside the HAU
+    process, so they can spend simulated time (preservation writes).
+    """
+
+    def on_hau_started(self, hau: "HAURuntime") -> None:
+        """HAU process came up (fresh start or post-recovery restart)."""
+
+    def on_source_emit(self, hau: "HAURuntime", tup: DataTuple):
+        """Before a source sends ``tup`` (source preservation). Generator."""
+        return
+        yield  # pragma: no cover
+
+    def on_emit(self, hau: "HAURuntime", edge: EdgeSpec, tup: DataTuple):
+        """After ``tup`` is queued on ``edge`` (input preservation). Generator."""
+        return
+        yield  # pragma: no cover
+
+    def on_token_arrival(self, hau: "HAURuntime", edge_idx: int, token: Token) -> None:
+        """Receiver-level notification: a token landed in the inbox."""
+
+    def handle_token(self, hau: "HAURuntime", edge_idx: int, token: Token):
+        """Main-loop token processing. Generator."""
+        return
+        yield  # pragma: no cover
+
+    def processing_overhead(self, hau: "HAURuntime") -> float:
+        """Multiplicative CPU tax (e.g. copy-on-write during async ckpt)."""
+        return 0.0
+
+    def maybe_checkpoint(self, hau: "HAURuntime"):
+        """Safe-point hook, called at every tuple boundary of the main and
+        source loops.  Schemes take snapshots here so that no tuple is ever
+        half-processed (state mutated, emissions unsent) inside a
+        checkpoint. Generator."""
+        return
+        yield  # pragma: no cover
+
+    def on_channel_broken(self, hau: "HAURuntime", edge_idx: int) -> None:
+        """An inbound channel broke (upstream neighbour failure signal)."""
+
+    def on_control(self, hau: "HAURuntime", message: Any):
+        """A control-plane message arrived from the controller. Generator."""
+        return
+        yield  # pragma: no cover
+
+
+class HAURuntime:
+    """One HAU running on one node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: HAUSpec,
+        node: Node,
+        in_edges: list[EdgeSpec],
+        out_edges: list[EdgeSpec],
+        scheme: SchemeHooks,
+        rng,
+        metrics=None,
+        inbox_capacity: int = DEFAULT_INBOX_CAPACITY,
+        restored: Optional[dict] = None,
+    ):
+        self.env = env
+        self.spec = spec
+        self.hau_id = spec.hau_id
+        self.node = node
+        self.scheme = scheme
+        self.metrics = metrics
+        self.rng = rng
+
+        self.operators: list[Operator] = spec.make_operators()
+        if not self.operators:
+            raise ValueError(f"HAU {self.hau_id} has no operators")
+        ctx = OperatorContext(hau_id=self.hau_id, now=lambda: env.now, rng=rng)
+        for op in self.operators:
+            op.setup(ctx)
+
+        self.in_edges = list(in_edges)
+        self.out_edges = list(out_edges)
+        self.in_channels: list[Optional[Channel]] = [None] * len(self.in_edges)
+        self.out_channels: dict[str, Channel] = {}  # edge_id -> channel
+        self._out_seq: dict[str, int] = {e.edge_id: 0 for e in self.out_edges}
+
+        self.inbox = Store(env, capacity=inbox_capacity)
+        self.intake_gate = Gate(env, opened=True)
+        self.blocked_edges: set[int] = set()
+        self.holdback: dict[int, deque] = {}
+        # last processed sequence per in-edge: duplicate suppression after
+        # recovery (a replayed/resent tuple with seq <= this is dropped)
+        self._in_seq: dict[int, int] = {i: 0 for i in range(len(self.in_edges))}
+        # restart support: items to re-process / re-emit before normal work
+        self._replay_backlog: list[tuple[int, DataTuple]] = []
+        self._replay_out: list[tuple[str, DataTuple]] = []
+        self._replay_source: list[DataTuple] = []
+
+        self.tuples_processed = 0
+        self.busy_time = 0.0
+        self.control_outbox: Optional[Channel] = None  # to controller
+        self._procs = []
+
+        if restored:
+            self._apply_restore(restored)
+
+    # -- wiring (done by DSPSRuntime) ------------------------------------------
+    def attach_in_channel(self, edge_idx: int, chan: Channel) -> None:
+        self.in_channels[edge_idx] = chan
+
+    def replace_in_channel(self, edge_idx: int, chan: Channel) -> None:
+        """Swap in a fresh inbound channel (downstream side of a single-HAU
+        restart) and start a receiver for it — the old receiver exited when
+        the old channel broke."""
+        self.in_channels[edge_idx] = chan
+        self._procs.append(
+            self.node.spawn(self._receiver(edge_idx, chan), label=f"{self.hau_id}.rx{edge_idx}r")
+        )
+
+    def attach_out_channel(self, edge: EdgeSpec, chan: Channel) -> None:
+        self.out_channels[edge.edge_id] = chan
+
+    def start(self) -> None:
+        """Spawn receiver processes and the main loop on the host node."""
+        for idx, chan in enumerate(self.in_channels):
+            if chan is not None:
+                self._procs.append(
+                    self.node.spawn(self._receiver(idx, chan), label=f"{self.hau_id}.rx{idx}")
+                )
+        if self.is_source:
+            self._procs.append(self.node.spawn(self._source_loop(), label=f"{self.hau_id}.src"))
+        else:
+            self._procs.append(self.node.spawn(self._main_loop(), label=f"{self.hau_id}.main"))
+        self.scheme.on_hau_started(self)
+
+    # -- classification -----------------------------------------------------------
+    @property
+    def is_source(self) -> bool:
+        return self.spec.is_source
+
+    @property
+    def is_sink(self) -> bool:
+        return self.spec.is_sink
+
+    @property
+    def source_operator(self) -> SourceOperator:
+        op = self.operators[0]
+        assert isinstance(op, SourceOperator)
+        return op
+
+    # -- state access ----------------------------------------------------------------
+    def state_size(self) -> int:
+        """Sum of constituent operators' states (§II-A: HAU state)."""
+        return sum(op.state_size() for op in self.operators)
+
+    def snapshot_operators(self) -> list[dict]:
+        return [op.snapshot() for op in self.operators]
+
+    def pre_token_backlog(self, round_id: int) -> list[tuple[int, DataTuple]]:
+        """Unprocessed tuples that precede round ``round_id``'s tokens.
+
+        Walks the inbox: for each edge whose token for this round is still
+        queued, tuples of that edge ahead of the token are pre-token.  For
+        edges already blocked (token processed), the pre-token tuples were
+        all processed, so only post-token holdback exists — excluded.
+        """
+        backlog: list[tuple[int, DataTuple]] = []
+        token_seen: set[int] = set()
+        for edge_idx, item in self.inbox.peek_all():
+            if is_token(item):
+                if item.round_id == round_id:
+                    token_seen.add(edge_idx)
+                continue
+            if edge_idx in token_seen or edge_idx in self.blocked_edges:
+                continue
+            backlog.append((edge_idx, item))
+        return backlog
+
+    # -- checkpoint/restore plumbing -----------------------------------------------------
+    def build_checkpoint_payload(
+        self,
+        round_id: int,
+        extra_out: Optional[list[tuple[str, DataTuple]]] = None,
+        include_backlog: bool = True,
+    ) -> dict:
+        """The individual checkpoint: operator snapshots + saved tuples.
+
+        ``include_backlog=False`` is for schemes without stream-boundary
+        tokens (the baseline), where unprocessed input is covered by
+        upstream input preservation instead of the checkpoint.
+        """
+        backlog = self.pre_token_backlog(round_id) if include_backlog else []
+        return {
+            "hau_id": self.hau_id,
+            "round_id": round_id,
+            "operators": self.snapshot_operators(),
+            "backlog": list(backlog),
+            "out_tuples": list(extra_out or []),
+            "out_seq": dict(self._out_seq),
+            "in_seq": dict(self._in_seq),
+            "state_size": self.state_size()
+            + sum(t.size for (_e, t) in backlog)
+            + sum(t.size for (_eid, t) in (extra_out or [])),
+        }
+
+    def _apply_restore(self, payload: dict) -> None:
+        snaps = payload.get("operators", [])
+        for op, snap in zip(self.operators, snaps):
+            op.restore(snap)
+        self._replay_backlog = list(payload.get("backlog", []))
+        self._replay_out = list(payload.get("out_tuples", []))
+        self._out_seq.update(payload.get("out_seq", {}))
+        self._in_seq.update(payload.get("in_seq", {}))
+
+    # -- intake control (used by schemes) ---------------------------------------------
+    def pause_intake(self) -> None:
+        self.intake_gate.close()
+
+    def resume_intake(self) -> None:
+        self.intake_gate.open()
+
+    def block_edge(self, edge_idx: int) -> None:
+        self.blocked_edges.add(edge_idx)
+        self.holdback.setdefault(edge_idx, deque())
+
+    def unblock_all_edges(self) -> list[tuple[int, DataTuple]]:
+        """Clear blocks; returns held-back items in arrival order per edge."""
+        drained: list[tuple[int, DataTuple]] = []
+        for edge_idx in sorted(self.holdback):
+            q = self.holdback[edge_idx]
+            while q:
+                drained.append((edge_idx, q.popleft()))
+        self.blocked_edges.clear()
+        self.holdback.clear()
+        return drained
+
+    # -- emission -------------------------------------------------------------------------
+    def route_edges(self, emit: Emit) -> list[EdgeSpec]:
+        """Which out-edges receive this emission (port match + routing)."""
+        group = [e for e in self.out_edges if e.src_port == emit.port]
+        if not group:
+            return []
+        if len(group) == 1:
+            return group
+        if group[0].routing == "hash":
+            idx = hash(emit.key) % len(group) if emit.key is not None else 0
+            return [group[idx]]
+        return group  # broadcast
+
+    def emit(self, emit_spec: Emit, created_at: float, source: str):
+        """Process generator: route, hook, and send one emission.
+
+        The scheme hook (preservation) runs before the send and even when
+        the channel is currently broken: a tuple emitted while the
+        downstream neighbour is dead must still be retained so it can be
+        replayed once the neighbour is restarted.
+        """
+        for edge in self.route_edges(emit_spec):
+            seq = self._out_seq[edge.edge_id] = self._out_seq[edge.edge_id] + 1
+            tup = DataTuple(
+                payload=emit_spec.payload,
+                size=emit_spec.size,
+                key=emit_spec.key,
+                created_at=created_at,
+                seq=seq,
+                source=source,
+            )
+            yield from self.scheme.on_emit(self, edge, tup)
+            chan = self.out_channels.get(edge.edge_id)
+            if chan is None or chan.closed:
+                continue
+            yield chan.send(tup, size=tup.size)
+
+    def emit_token(self, token: Token):
+        """Process generator: send ``token`` down every out-edge, in order."""
+        for edge in self.out_edges:
+            chan = self.out_channels.get(edge.edge_id)
+            if chan is None or chan.closed:
+                continue
+            yield chan.send(token, size=token.size)
+
+    def emit_token_front(self, token: Token) -> None:
+        """Send ``token`` at the *head* of every output queue (1-hop tokens,
+        §III-B: "immediately inserted to the output buffers and placed at
+        the head of the queue").  Synchronous — never blocks."""
+        for edge in self.out_edges:
+            chan = self.out_channels.get(edge.edge_id)
+            if chan is None or chan.closed:
+                continue
+            chan.send_front(token, size=token.size)
+
+    def outbox_tuples(self) -> list[tuple[str, DataTuple]]:
+        """Data tuples currently queued (unsent) in the output buffers.
+
+        When a 1-hop token is inserted at the head of a queue, anything
+        already queued becomes post-token on the wire and must be saved
+        with the checkpoint (the paper's tuples 1, 2 in Fig. 8)."""
+        out: list[tuple[str, DataTuple]] = []
+        for edge in self.out_edges:
+            chan = self.out_channels.get(edge.edge_id)
+            if chan is None:
+                continue
+            for msg in chan._outbox.peek_all():
+                if isinstance(msg.payload, DataTuple):
+                    out.append((edge.edge_id, msg.payload))
+        return out
+
+    def set_replay_source(self, tuples: list[DataTuple]) -> None:
+        """Queue preserved tuples for full-speed replay after recovery."""
+        self._replay_source = list(tuples)
+
+    def request_safepoint(self) -> None:
+        """Wake the main loop if it is idle so the scheme's safe-point hook
+        runs promptly (periodic baseline checkpoints, queued replays).
+        Sources poll their own safe-points; no nudge needed."""
+        if not self.is_source:
+            self.inbox.put((-1, _NUDGE))
+
+    def resend(self, edge_id: str, tup: DataTuple):
+        """Re-emit a saved in-flight tuple after recovery (same seq)."""
+        chan = self.out_channels.get(edge_id)
+        if chan is None or chan.closed:
+            return
+        yield chan.send(tup, size=tup.size)
+
+    # -- processes -------------------------------------------------------------------------
+    def _receiver(self, edge_idx: int, chan: Channel):
+        try:
+            while True:
+                try:
+                    msg = yield chan.recv()
+                except ChannelClosedError:
+                    self.scheme.on_channel_broken(self, edge_idx)
+                    return
+                item = msg.payload
+                if is_token(item):
+                    self.scheme.on_token_arrival(self, edge_idx, item)
+                yield self.inbox.put((edge_idx, item))
+        except Interrupt:
+            return
+
+    def _process_tuple(self, edge_idx: int, tup: DataTuple):
+        """Run the operator chain over one tuple; emit the results."""
+        if tup.seq:
+            if tup.seq <= self._in_seq.get(edge_idx, 0):
+                return  # duplicate after recovery: already in restored state
+            self._in_seq[edge_idx] = tup.seq
+        port = self.in_edges[edge_idx].dst_port if edge_idx < len(self.in_edges) else 0
+        cost = 0.0
+        emissions: list[Emit] = []
+        current: list[tuple[int, DataTuple]] = [(port, tup)]
+        for depth, op in enumerate(self.operators):
+            nxt: list[tuple[int, DataTuple]] = []
+            for p, t in current:
+                cost += op.processing_cost(t)
+                outs = op.on_tuple(p, t)
+                if depth == len(self.operators) - 1:
+                    emissions.extend(outs)
+                else:
+                    nxt.extend(
+                        (o.port, DataTuple(o.payload, o.size, o.key, t.created_at, 0, t.source))
+                        for o in outs
+                    )
+            current = nxt
+            if depth == len(self.operators) - 1:
+                break
+        cost *= 1.0 + self.scheme.processing_overhead(self)
+        if cost > 0:
+            yield self.env.timeout(cost)
+        self.busy_time += cost
+        self.tuples_processed += 1
+        if self.metrics is not None:
+            self.metrics.record_stage(self.hau_id, tup.created_at, self.env.now)
+            if self.is_sink:
+                self.metrics.record_sink(self.hau_id, tup.created_at, self.env.now)
+        for emit_spec in emissions:
+            yield from self.emit(emit_spec, created_at=tup.created_at, source=tup.source)
+
+    def _main_loop(self):
+        try:
+            # Post-recovery: first re-send saved in-flight outputs, then
+            # re-process the saved pre-token backlog.
+            for edge_id, tup in self._replay_out:
+                yield from self.resend(edge_id, tup)
+            self._replay_out = []
+            backlog, self._replay_backlog = self._replay_backlog, []
+            for edge_idx, tup in backlog:
+                yield from self._process_tuple(edge_idx, tup)
+            while True:
+                yield from self.scheme.maybe_checkpoint(self)
+                yield self.intake_gate.wait()
+                edge_idx, item = yield self.inbox.get()
+                if item is _NUDGE:
+                    continue  # safe-point wake-up: hook runs at loop top
+                if is_token(item):
+                    yield from self.scheme.handle_token(self, edge_idx, item)
+                elif edge_idx in self.blocked_edges:
+                    self.holdback[edge_idx].append(item)
+                else:
+                    yield from self._process_tuple(edge_idx, item)
+        except Interrupt:
+            return
+
+    def _source_loop(self):
+        op = self.source_operator
+        try:
+            # Post-recovery: first re-send the saved in-flight outputs (the
+            # tuples "between the incoming tokens and the output tokens"
+            # that the checkpoint carried), then replay preserved tuples.
+            for edge_id, tup in self._replay_out:
+                yield from self.resend(edge_id, tup)
+            self._replay_out = []
+            # Post-recovery: replay preserved tuples at full speed ("it can
+            # process the replayed tuples faster than usual to catch up",
+            # §III).  Replayed tuples keep their original creation time and
+            # are already preserved, so the preservation hook is skipped.
+            replay, self._replay_source = self._replay_source, []
+            for tup in replay:
+                yield self.intake_gate.wait()
+                op.emitted_count += 1
+                yield from self.emit(
+                    Emit(payload=tup.payload, size=tup.size, port=0, key=tup.key),
+                    created_at=tup.created_at,
+                    source=self.hau_id,
+                )
+            # Normal generation, resuming past the already-emitted prefix
+            # (the generator is deterministic; see Operator docstring).
+            # ``sched`` is the nominal sensor-capture instant: tuples are
+            # stamped with it (not the emission instant), so time spent
+            # blocked behind backpressure counts into end-to-end latency —
+            # the real sensor kept capturing while the pipeline stalled.
+            gen = op.generate()
+            skip = op.emitted_count
+            produced = 0
+            sched = 0.0
+            for delay, emit_spec in gen:
+                sched += delay
+                if produced < skip:
+                    produced += 1
+                    continue
+                # Chunked inter-arrival wait so a slow source still reaches
+                # checkpoint safe-points promptly.
+                remaining = delay
+                while remaining > 0:
+                    chunk = min(remaining, SOURCE_DELAY_CHUNK)
+                    yield self.env.timeout(chunk)
+                    remaining -= chunk
+                    if remaining > 0:
+                        yield from self.scheme.maybe_checkpoint(self)
+                yield from self.scheme.maybe_checkpoint(self)
+                tup = DataTuple(
+                    payload=emit_spec.payload,
+                    size=emit_spec.size,
+                    key=emit_spec.key,
+                    created_at=min(sched, self.env.now),
+                    seq=op.emitted_count + 1,
+                    source=self.hau_id,
+                )
+                yield self.intake_gate.wait()
+                yield from self.scheme.on_source_emit(self, tup)
+                op.emitted_count += 1
+                produced += 1
+                yield from self.emit(
+                    Emit(payload=tup.payload, size=tup.size, port=0, key=tup.key),
+                    created_at=tup.created_at,
+                    source=self.hau_id,
+                )
+            # Generator exhausted (finite workload): stay alive at safe
+            # points so checkpoint rounds can still complete.
+            while True:
+                yield from self.scheme.maybe_checkpoint(self)
+                yield self.env.timeout(IDLE_SOURCE_POLL)
+        except Interrupt:
+            return
+
+    def kill_local_processes(self) -> None:
+        """Stop this HAU's processes without failing the node (rollback)."""
+        procs, self._procs = self._procs, []
+        for p in procs:
+            p.interrupt("rollback")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<HAURuntime {self.hau_id} on {self.node.node_id}>"

@@ -1,0 +1,282 @@
+"""DSPS runtime: placement, wiring and lifecycle of a stream application.
+
+Builds the simulated deployment the paper evaluates: one HAU per worker
+node (more HAUs per node if the cluster is smaller than the graph), data
+channels along every query-network edge, a control-plane star between
+the controller (on the storage node) and every HAU, and the shared
+storage service.  Also provides the re-wiring primitive the recovery
+manager uses to restart HAUs on spare nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.cluster.channel import Channel
+from repro.cluster.node import Node
+from repro.cluster.topology import ClusterSpec, DataCenter
+from repro.dsps.application import StreamApplication
+from repro.dsps.graph import EdgeSpec
+from repro.dsps.hau import DEFAULT_INBOX_CAPACITY, HAURuntime, SchemeHooks
+from repro.metrics.collectors import MetricsHub
+from repro.simulation.core import Environment, Interrupt
+from repro.simulation.rng import RngRegistry
+from repro.storage.shared import SharedStorage, StorageClient
+
+CONTROL_MSG_SIZE = 512
+DEFAULT_CHANNEL_CAPACITY = 64
+
+
+@dataclass
+class RuntimeConfig:
+    """Knobs of a simulated deployment."""
+
+    seed: int = 0
+    cluster: Optional[ClusterSpec] = None
+    channel_capacity: int = DEFAULT_CHANNEL_CAPACITY
+    inbox_capacity: int = DEFAULT_INBOX_CAPACITY
+
+
+class CheckpointScheme(SchemeHooks):
+    """Application-level scheme base: HAU hooks + lifecycle."""
+
+    name = "none"
+
+    def __init__(self):
+        self.runtime: Optional["DSPSRuntime"] = None
+
+    def attach(self, runtime: "DSPSRuntime") -> None:
+        self.runtime = runtime
+
+    def start(self) -> None:
+        """Spawn controller-side processes; called after HAUs start."""
+
+    def control_reply(self, hau: HAURuntime, message: Any) -> None:
+        """HAU -> controller message (fire and forget)."""
+        chan = self.runtime.control_up.get(hau.hau_id) if self.runtime else None
+        if chan is not None and not chan.closed:
+            chan.send(message, size=CONTROL_MSG_SIZE)
+
+
+class DSPSRuntime:
+    """One application deployed on one simulated cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        app: StreamApplication,
+        scheme: CheckpointScheme,
+        config: Optional[RuntimeConfig] = None,
+    ):
+        self.env = env
+        self.app = app
+        self.scheme = scheme
+        self.config = config or RuntimeConfig()
+        self.rngs = RngRegistry(self.config.seed)
+        self.dc = DataCenter(env, self.config.cluster)
+        self.storage = SharedStorage(env, self.dc.storage_node)
+        self.metrics = MetricsHub()
+
+        self.placement: dict[str, Node] = {}
+        self.haus: dict[str, HAURuntime] = {}
+        self.data_channels: dict[str, Channel] = {}  # edge_id -> channel
+        self.control_down: dict[str, Channel] = {}  # controller -> HAU
+        self.control_up: dict[str, Channel] = {}  # HAU -> controller
+        self._control_procs = []
+        self._built = False
+        scheme.attach(self)
+
+    # -- construction -----------------------------------------------------------
+    def build(self) -> None:
+        """Place HAUs and create all runtimes and channels (no processes yet)."""
+        if self._built:
+            raise RuntimeError("runtime already built")
+        graph = self.app.graph
+        order = sorted(graph.haus)
+        workers = self.dc.workers
+        for i, hau_id in enumerate(order):
+            self.placement[hau_id] = workers[i % len(workers)]
+        for hau_id in order:
+            self._make_hau(hau_id, self.placement[hau_id], restored=None)
+        self._wire_data_channels()
+        for hau_id in order:
+            self._wire_control(hau_id)
+        self._built = True
+
+    def _make_hau(self, hau_id: str, node: Node, restored: Optional[dict]) -> HAURuntime:
+        graph = self.app.graph
+        hau = HAURuntime(
+            env=self.env,
+            spec=graph.haus[hau_id],
+            node=node,
+            in_edges=graph.in_edges(hau_id),
+            out_edges=graph.out_edges(hau_id),
+            scheme=self.scheme,
+            rng=self.rngs.stream(f"hau:{hau_id}"),
+            metrics=self.metrics,
+            inbox_capacity=self.config.inbox_capacity,
+            restored=restored,
+        )
+        self.haus[hau_id] = hau
+        return hau
+
+    def _wire_data_channels(self) -> None:
+        for edge in self.app.graph.edges:
+            src_hau = self.haus[edge.src]
+            dst_hau = self.haus[edge.dst]
+            chan = self.dc.connect(
+                src_hau.node,
+                dst_hau.node,
+                name=edge.edge_id,
+                capacity=self.config.channel_capacity,
+            )
+            self.data_channels[edge.edge_id] = chan
+            src_hau.attach_out_channel(edge, chan)
+            dst_idx = dst_hau.in_edges.index(edge)
+            dst_hau.attach_in_channel(dst_idx, chan)
+
+    def _wire_control(self, hau_id: str) -> None:
+        hau = self.haus[hau_id]
+        down = self.dc.connect(self.dc.storage_node, hau.node, name=f"ctl->{hau_id}")
+        up = self.dc.connect(hau.node, self.dc.storage_node, name=f"{hau_id}->ctl")
+        self.control_down[hau_id] = down
+        self.control_up[hau_id] = up
+        hau.control_outbox = up
+        self._control_procs.append(
+            hau.node.spawn(self._control_listener(hau, down), label=f"{hau_id}.ctl")
+        )
+
+    def _control_listener(self, hau: HAURuntime, chan: Channel):
+        from repro.cluster.channel import ChannelClosedError
+
+        try:
+            while True:
+                try:
+                    msg = yield chan.recv()
+                except ChannelClosedError:
+                    return
+                yield from self.scheme.on_control(hau, msg.payload)
+        except Interrupt:
+            return
+
+    # -- lifecycle -----------------------------------------------------------------
+    def start(self) -> None:
+        if not self._built:
+            self.build()
+        for hau_id in sorted(self.haus):
+            self.haus[hau_id].start()
+        self.scheme.start()
+
+    def run(self, until: float) -> None:
+        self.env.run(until=until)
+
+    # -- services ---------------------------------------------------------------------
+    def storage_client(self, node: Node) -> StorageClient:
+        return StorageClient(node, self.storage)
+
+    def send_control(self, hau_id: str, message: Any) -> None:
+        """Controller -> HAU, fire and forget."""
+        chan = self.control_down.get(hau_id)
+        if chan is not None and not chan.closed:
+            chan.send(message, size=CONTROL_MSG_SIZE)
+
+    def broadcast_control(self, message: Any) -> None:
+        for hau_id in sorted(self.control_down):
+            self.send_control(hau_id, message)
+
+    # -- recovery support ----------------------------------------------------------------
+    def teardown_application(self) -> None:
+        """Stop every HAU process and close every data channel (rollback)."""
+        for hau in self.haus.values():
+            hau.kill_local_processes()
+        for chan in self.data_channels.values():
+            chan.close()
+        for chan in list(self.control_down.values()) + list(self.control_up.values()):
+            chan.close()
+        procs, self._control_procs = self._control_procs, []
+        for p in procs:
+            if p.is_alive:
+                p.interrupt("teardown")
+
+    def rewire(
+        self,
+        assignments: dict[str, Node],
+        restored: dict[str, Optional[dict]],
+    ) -> None:
+        """Recreate every HAU runtime (possibly on new nodes) from snapshots.
+
+        Called by the recovery manager after :meth:`teardown_application`.
+        Does not start the HAU processes — the caller sequences the
+        recovery phases and then calls :meth:`restart_haus`.
+        """
+        self.placement = dict(assignments)
+        self.haus = {}
+        self.data_channels = {}
+        self.control_down = {}
+        self.control_up = {}
+        for hau_id in sorted(self.app.graph.haus):
+            self._make_hau(hau_id, assignments[hau_id], restored.get(hau_id))
+        self._wire_data_channels()
+        for hau_id in sorted(self.haus):
+            self._wire_control(hau_id)
+
+    def restart_haus(self) -> None:
+        for hau_id in sorted(self.haus):
+            self.haus[hau_id].start()
+
+    def rebuild_single_hau(
+        self,
+        hau_id: str,
+        node: Node,
+        restored: Optional[dict],
+        attach_upstream: bool = True,
+    ) -> tuple[HAURuntime, list[tuple[EdgeSpec, Channel]]]:
+        """Recreate one HAU on ``node`` and re-wire just its channels.
+
+        Used by 1-safe (baseline) recovery: neighbours keep running; the
+        upstream sides get replacement out-channels, the downstream sides
+        get replacement in-channels with fresh receivers.  The caller
+        starts the HAU when its recovery phases are done.
+
+        With ``attach_upstream=False`` the new inbound channels are *not*
+        yet attached to the upstream neighbours; they are returned so the
+        caller can first replay retained tuples into them (guaranteeing
+        replayed-before-new FIFO order) and attach afterwards.
+        """
+        graph = self.app.graph
+        self.placement[hau_id] = node
+        hau = self._make_hau(hau_id, node, restored)
+        deferred: list[tuple[EdgeSpec, Channel]] = []
+        for edge in graph.in_edges(hau_id):
+            src_hau = self.haus[edge.src]
+            chan = self.dc.connect(
+                src_hau.node, node, name=edge.edge_id, capacity=self.config.channel_capacity
+            )
+            self.data_channels[edge.edge_id] = chan
+            if attach_upstream:
+                src_hau.attach_out_channel(edge, chan)
+            else:
+                deferred.append((edge, chan))
+            hau.attach_in_channel(hau.in_edges.index(edge), chan)
+        for edge in graph.out_edges(hau_id):
+            dst_hau = self.haus[edge.dst]
+            if not dst_hau.node.alive:
+                # The downstream neighbour is itself dead; its own recovery
+                # (or its unrecoverability) will deal with this edge.
+                continue
+            chan = self.dc.connect(
+                node, dst_hau.node, name=edge.edge_id, capacity=self.config.channel_capacity
+            )
+            self.data_channels[edge.edge_id] = chan
+            hau.attach_out_channel(edge, chan)
+            dst_hau.replace_in_channel(dst_hau.in_edges.index(edge), chan)
+        self._wire_control(hau_id)
+        return hau, deferred
+
+    # -- introspection -----------------------------------------------------------------
+    def alive_haus(self) -> list[str]:
+        return sorted(h for h, hau in self.haus.items() if hau.node.alive)
+
+    def total_state_bytes(self) -> int:
+        return sum(h.state_size() for h in self.haus.values())

@@ -1,0 +1,178 @@
+"""Small deterministic operators and graphs for tests and examples.
+
+These are not toys in the pejorative sense: :class:`WindowSum` has the
+batching state profile (grow, emit, reset) that application-aware
+checkpointing exploits, and :class:`VerifySink` checkpoints its full
+delivery log so exactly-once semantics can be asserted bit-for-bit after
+failure and recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dsps.operator import Emit, Operator, SinkOperator, SourceOperator
+
+
+class IntervalSource(SourceOperator):
+    """Emits ``count`` integer tuples at a fixed interval (deterministic)."""
+
+    def __init__(
+        self,
+        count: int = 100,
+        interval: float = 0.1,
+        size: int = 10_000,
+        start: int = 0,
+        name: str = "",
+    ):
+        super().__init__(name)
+        self.count = count
+        self.interval = interval
+        self.out_size = size
+        self.start = start
+
+    def generate(self):
+        for i in range(self.start, self.start + self.count):
+            yield (self.interval, Emit(payload=i, size=self.out_size, key=i))
+
+
+class WindowSum(Operator):
+    """Accumulates ``window`` tuples, then emits their sum and resets.
+
+    State size follows the paper's batch-processing sawtooth: it ramps up
+    within a window and collapses to (near) zero at the boundary.
+    """
+
+    state_attrs = ("pool", "windows_emitted")
+
+    def __init__(self, window: int = 10, name: str = ""):
+        super().__init__(name)
+        self.window = window
+        self.pool: list = []
+        self.windows_emitted = 0
+
+    def on_tuple(self, port, tup):
+        self.pool.append(tup)
+        if len(self.pool) >= self.window:
+            total = sum(t.payload for t in self.pool)
+            size = max(64, self.pool[0].size)
+            self.pool = []
+            self.windows_emitted += 1
+            return [Emit(payload=total, size=size, key=self.windows_emitted)]
+        return []
+
+
+class PassThrough(Operator):
+    """Stateless 1:1 operator with an optional payload transform."""
+
+    def __init__(self, fn=None, name: str = ""):
+        super().__init__(name)
+        self.fn = fn or (lambda x: x)
+
+    def on_tuple(self, port, tup):
+        return [Emit(payload=self.fn(tup.payload), size=tup.size, key=tup.key)]
+
+
+class VerifySink(SinkOperator):
+    """A sink whose full delivery log is checkpointed state.
+
+    After a rollback the log is restored to the consistent cut, so the
+    final log of a failed-and-recovered run must equal the failure-free
+    run's — the exactly-once assertion.
+    """
+
+    state_attrs = ("received_count", "payload_log")
+
+    def __init__(self, name: str = ""):
+        super().__init__(name, keep_payloads=False)
+        self.payload_log: list = []
+
+    def on_tuple(self, port, tup):
+        self.received_count += 1
+        self.payload_log.append(tup.payload)
+        return []
+
+
+def make_chain_graph(
+    source_count: int = 60,
+    interval: float = 0.05,
+    window: int = 5,
+    tuple_size: int = 50_000,
+):
+    """source -> windowsum -> passthrough -> sink, with a holder dict."""
+    from repro.dsps.graph import QueryGraph
+
+    holder: dict = {}
+
+    def make_sink():
+        s = VerifySink()
+        holder["sink"] = s
+        return [s]
+
+    g = QueryGraph()
+    g.add_hau(
+        "src",
+        lambda: [IntervalSource(count=source_count, interval=interval, size=tuple_size)],
+        is_source=True,
+    )
+    g.add_hau("agg", lambda: [WindowSum(window=window)])
+    g.add_hau("mid", lambda: [PassThrough(fn=lambda x: x * 2)])
+    g.add_hau("sink", make_sink, is_sink=True)
+    g.connect("src", "agg")
+    g.connect("agg", "mid")
+    g.connect("mid", "sink")
+    return g, holder
+
+
+def make_diamond_graph(
+    source_count: int = 60,
+    interval: float = 0.05,
+    window: int = 5,
+    tuple_size: int = 50_000,
+):
+    """Two sources joining into one aggregate, then a sink (Fig. 6 shape)."""
+    from repro.dsps.graph import QueryGraph
+
+    holder: dict = {}
+
+    def make_sink():
+        s = VerifySink()
+        holder["sink"] = s
+        return [s]
+
+    class TaggedJoin(Operator):
+        state_attrs = ("counts",)
+
+        def __init__(self):
+            super().__init__()
+            self.counts = {0: 0, 1: 0}
+
+        def on_tuple(self, port, tup):
+            self.counts[port] = self.counts.get(port, 0) + 1
+            return [Emit(payload=(port, tup.payload), size=tup.size, key=tup.key)]
+
+    g = QueryGraph()
+    g.add_hau(
+        "s0",
+        lambda: [IntervalSource(count=source_count, interval=interval, size=tuple_size)],
+        is_source=True,
+    )
+    g.add_hau(
+        "s1",
+        lambda: [
+            IntervalSource(
+                count=source_count, interval=interval * 1.3, size=tuple_size, start=1000
+            )
+        ],
+        is_source=True,
+    )
+    g.add_hau("a", lambda: [WindowSum(window=window)])
+    g.add_hau("b", lambda: [PassThrough()])
+    g.add_hau("join", lambda: [TaggedJoin()])
+    g.add_hau("sink", make_sink, is_sink=True)
+    g.connect("s0", "a")
+    g.connect("s1", "b")
+    g.connect("a", "join", dst_port=0)
+    g.connect("b", "join", dst_port=1)
+    g.connect("join", "sink")
+    return g, holder

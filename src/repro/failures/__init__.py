@@ -1,0 +1,27 @@
+"""Commodity data-center failure model (paper §II-B1, Table I).
+
+Regenerates the AFN100 table from per-cause event processes calibrated
+to the paper's published Google / NCSA-Abe statistics, and injects
+fail-stop failures (single-node and rack-correlated bursts) into the
+simulated cluster for the fault-tolerance experiments.
+"""
+
+from repro.failures.model import (
+    FailureSource,
+    ClusterFailureModel,
+    GOOGLE_DC,
+    ABE_CLUSTER,
+    AFN100Row,
+)
+from repro.failures.injector import FailureInjector, FailurePlan, PlannedFailure
+
+__all__ = [
+    "FailureSource",
+    "ClusterFailureModel",
+    "GOOGLE_DC",
+    "ABE_CLUSTER",
+    "AFN100Row",
+    "FailureInjector",
+    "FailurePlan",
+    "PlannedFailure",
+]

@@ -1,0 +1,123 @@
+"""Failure injection into the simulated cluster.
+
+Turns the statistical failure model into concrete fail-stop events on a
+:class:`~repro.cluster.topology.DataCenter`: single-node failures
+(ooops/disk/memory) and rack-correlated bursts (the large-scale failures
+Meteor Shower is built for).  Plans are sampled up front (deterministic
+given the RNG stream) so experiments can be replayed and compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.topology import DataCenter
+from repro.simulation.core import Environment, Interrupt
+
+
+@dataclass(frozen=True)
+class PlannedFailure:
+    """One failure event scheduled for injection."""
+
+    at: float  # seconds of simulated time
+    kind: str  # "node" | "rack"
+    target: str  # node id or rack id
+    cause: str = "injected"
+
+
+@dataclass
+class FailurePlan:
+    events: list[PlannedFailure] = field(default_factory=list)
+
+    def sorted_events(self) -> list[PlannedFailure]:
+        return sorted(self.events, key=lambda e: (e.at, e.target))
+
+    @property
+    def burst_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "rack")
+
+    @property
+    def single_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "node")
+
+
+def sample_plan(
+    rng: np.random.Generator,
+    dc: DataCenter,
+    horizon: float,
+    single_rate_per_node_year: float = 1.05,
+    rack_burst_rate_per_year: float = 25.0,
+) -> FailurePlan:
+    """Sample a failure plan over ``horizon`` seconds of simulated time.
+
+    Default rates follow Table I's dominant rows: ~1 independent failure
+    per node-year (ooops + disk + memory) and ~25 rack-scale bursts per
+    year across the cluster (rack failures + unsteadiness, scaled to the
+    experiment cluster's rack count).
+    """
+    from repro.failures.model import SECONDS_PER_YEAR
+
+    plan = FailurePlan()
+    workers = dc.workers
+    n_singles = rng.poisson(
+        single_rate_per_node_year * len(workers) * horizon / SECONDS_PER_YEAR
+    )
+    for _ in range(int(n_singles)):
+        node = workers[int(rng.integers(len(workers)))]
+        plan.events.append(
+            PlannedFailure(at=float(rng.uniform(0, horizon)), kind="node",
+                           target=node.node_id, cause="single")
+        )
+    n_bursts = rng.poisson(rack_burst_rate_per_year * horizon / SECONDS_PER_YEAR)
+    for _ in range(int(n_bursts)):
+        rack = dc.racks[int(rng.integers(len(dc.racks)))]
+        plan.events.append(
+            PlannedFailure(at=float(rng.uniform(0, horizon)), kind="rack",
+                           target=rack.rack_id, cause="rack-burst")
+        )
+    return plan
+
+
+class FailureInjector:
+    """Executes a :class:`FailurePlan` against a live simulation."""
+
+    def __init__(self, env: Environment, dc: DataCenter, plan: FailurePlan):
+        self.env = env
+        self.dc = dc
+        self.plan = plan
+        self.injected: list[PlannedFailure] = []
+
+    def start(self) -> None:
+        self.env.process(self._run(), label="failure-injector")
+
+    def _run(self):
+        try:
+            for event in self.plan.sorted_events():
+                delay = event.at - self.env.now
+                if delay > 0:
+                    yield self.env.timeout(delay)
+                self._inject(event)
+        except Interrupt:
+            return
+
+    def _inject(self, event: PlannedFailure) -> None:
+        if event.kind == "node":
+            try:
+                node = self.dc.node(event.target)
+            except KeyError:
+                return
+            if node.alive:
+                node.fail(event.cause)
+                self.injected.append(event)
+        elif event.kind == "rack":
+            for rack in self.dc.racks:
+                if rack.rack_id == event.target:
+                    victims = rack.fail_all(event.cause)
+                    if victims:
+                        self.injected.append(event)
+                    break
+        else:  # pragma: no cover - plan validation
+            raise ValueError(f"unknown failure kind {event.kind!r}")

@@ -1,0 +1,195 @@
+"""Per-cause failure-rate model and the AFN100 computation.
+
+AFN100 = "the average number of node failures observed across 100 nodes
+running through a year", broken down by cause (§II-B1).  The paper's
+worked example for Google's network row:
+
+    one network rewiring (5% of nodes down), twenty rack failures (80
+    nodes disconnected each), five rack unsteadiness events (80 nodes,
+    50% packet loss), fifteen router failures/reloads and eight network
+    maintenances (conservatively 10% of nodes each) ->
+    7640 node-failures / 2400 nodes * 100 > 300.
+
+Each :class:`FailureSource` describes one cause as a yearly event rate
+plus a per-event victim-count model; :class:`ClusterFailureModel`
+samples a year (or computes the expectation in closed form) and emits
+Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+HOURS_PER_YEAR = 8760.0
+SECONDS_PER_YEAR = HOURS_PER_YEAR * 3600.0
+
+
+@dataclass(frozen=True)
+class FailureSource:
+    """One cause of node failures.
+
+    ``events_per_year`` — cluster-wide event count (Poisson mean); for
+    per-node causes use ``per_node=True`` and the rate is per node-year.
+    ``victims`` — nodes affected by one event: an absolute count, or a
+    fraction of the cluster when ``victims_fraction`` is set.
+    ``correlated`` — whether one event takes down multiple nodes at once
+    (a *burst*).  ``counts_in_table`` — benign/correctable events (ECC
+    single-bit errors, planned restarts) are excluded from Table I but
+    participate in the burst-share statistic.
+    """
+
+    name: str
+    category: str
+    events_per_year: float
+    victims: int = 1
+    victims_fraction: Optional[float] = None
+    per_node: bool = False
+    correlated: bool = False
+    counts_in_table: bool = True
+    recovery_hours: tuple[float, float] = (1.0, 6.0)
+
+    def victim_count(self, cluster_nodes: int) -> float:
+        if self.victims_fraction is not None:
+            return self.victims_fraction * cluster_nodes
+        return float(self.victims)
+
+    def expected_node_failures(self, cluster_nodes: int) -> float:
+        events = self.events_per_year * (cluster_nodes if self.per_node else 1.0)
+        return events * self.victim_count(cluster_nodes)
+
+
+@dataclass
+class AFN100Row:
+    category: str
+    afn100: float
+    burst_events: int = 0
+    single_events: int = 0
+
+    @property
+    def total_events(self) -> int:
+        return self.burst_events + self.single_events
+
+
+# --- Google data center (2400+ nodes, 30+ racks x 80 blades) --------------------
+# Network row: exactly the paper's worked example.
+GOOGLE_SOURCES = [
+    FailureSource("network-rewiring", "Network", 1, victims_fraction=0.05, correlated=True),
+    FailureSource("rack-failure", "Network", 20, victims=80, correlated=True,
+                  recovery_hours=(1.0, 6.0)),
+    FailureSource("rack-unsteadiness", "Network", 5, victims=80, correlated=True),
+    FailureSource("router-failure", "Network", 15, victims_fraction=0.10, correlated=True),
+    FailureSource("network-maintenance", "Network", 8, victims_fraction=0.10, correlated=True),
+    # Environment: power outages, overheating, maintenance -> 100~150 AFN100.
+    FailureSource("power-outage", "Environment", 2, victims_fraction=0.50, correlated=True),
+    FailureSource("overheating", "Environment", 1, victims_fraction=0.10, correlated=True),
+    FailureSource("dc-maintenance", "Environment", 4, victims_fraction=0.03, correlated=True),
+    # Ooops: software, operator mistakes, unknown -> ~100 AFN100, independent.
+    FailureSource("ooops", "Ooops", 1.0, per_node=True, correlated=False),
+    # Disk: only uncorrectable failures count (1.7~8.6 AFN100).
+    FailureSource("disk-uncorrectable", "Disk", 0.04, per_node=True, correlated=False),
+    # Memory: uncorrectable DRAM errors (~1.3 AFN100).
+    FailureSource("memory-uncorrectable", "Memory", 0.013, per_node=True, correlated=False),
+    # Benign per-node restarts: excluded from Table I (correctable /
+    # planned), but they dominate the raw event count, which is why only
+    # ~10% of failure *events* belong to correlated bursts [11].
+    FailureSource("benign-restart", "Restart", 0.2, per_node=True,
+                  correlated=False, counts_in_table=False),
+]
+
+# --- NCSA Abe cluster: InfiniBand + RAID6 lower the network/storage rows ------
+ABE_SOURCES = [
+    FailureSource("network-event", "Network", 20, victims_fraction=0.10, correlated=True),
+    FailureSource("rack-failure", "Network", 8, victims=64, correlated=True),
+    FailureSource("ooops", "Ooops", 0.4, per_node=True, correlated=False),
+    FailureSource("disk-uncorrectable", "Disk", 0.04, per_node=True, correlated=False),
+]
+
+
+@dataclass
+class ClusterProfile:
+    name: str
+    nodes: int
+    racks: int
+    sources: list[FailureSource]
+
+
+GOOGLE_DC = ClusterProfile(name="Google's Data Center", nodes=2400, racks=30,
+                           sources=GOOGLE_SOURCES)
+ABE_CLUSTER = ClusterProfile(name="Abe Cluster", nodes=1200, racks=19,
+                             sources=ABE_SOURCES)
+
+
+class ClusterFailureModel:
+    """Samples failure events for a cluster profile and derives Table I."""
+
+    def __init__(self, profile: ClusterProfile, rng: Optional[np.random.Generator] = None):
+        self.profile = profile
+        self.rng = rng or np.random.default_rng(0)
+
+    # -- closed-form expectation ----------------------------------------------------
+    def expected_afn100(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for src in self.profile.sources:
+            if not src.counts_in_table:
+                continue
+            exp = src.expected_node_failures(self.profile.nodes)
+            out[src.category] = out.get(src.category, 0.0) + exp
+        return {
+            cat: total / self.profile.nodes * 100.0 for cat, total in out.items()
+        }
+
+    # -- Monte-Carlo year --------------------------------------------------------------
+    def sample_year(self) -> tuple[dict[str, AFN100Row], dict[str, float]]:
+        """Simulate one year; returns (per-category rows, burst statistics)."""
+        rows: dict[str, AFN100Row] = {}
+        burst_failures = 0
+        single_failures = 0
+        burst_events = 0
+        single_events = 0
+        for src in self.profile.sources:
+            mean_events = src.events_per_year * (
+                self.profile.nodes if src.per_node else 1.0
+            )
+            n_events = int(self.rng.poisson(mean_events))
+            victims_per_event = src.victim_count(self.profile.nodes)
+            node_failures = 0
+            for _ in range(n_events):
+                if src.correlated:
+                    v = max(1, int(round(victims_per_event)))
+                    burst_failures += v
+                    burst_events += 1
+                else:
+                    v = 1
+                    single_failures += 1
+                    single_events += 1
+                node_failures += v
+            if src.counts_in_table:
+                row = rows.setdefault(src.category, AFN100Row(src.category, 0.0))
+                row.afn100 += node_failures / self.profile.nodes * 100.0
+                if src.correlated:
+                    row.burst_events += n_events
+                else:
+                    row.single_events += n_events
+        total_events = burst_events + single_events
+        total_failures = burst_failures + single_failures
+        stats = {
+            "burst_event_share": burst_events / total_events if total_events else 0.0,
+            "burst_failure_share": (
+                burst_failures / total_failures if total_failures else 0.0
+            ),
+            "total_events": float(total_events),
+            "total_node_failures": float(total_failures),
+        }
+        return rows, stats
+
+    def table_rows(self, samples: int = 5) -> dict[str, tuple[float, float]]:
+        """(min, max) AFN100 per category across Monte-Carlo years."""
+        acc: dict[str, list[float]] = {}
+        for _ in range(samples):
+            rows, _stats = self.sample_year()
+            for cat, row in rows.items():
+                acc.setdefault(cat, []).append(row.afn100)
+        return {cat: (min(v), max(v)) for cat, v in acc.items()}

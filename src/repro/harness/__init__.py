@@ -1,0 +1,38 @@
+"""Experiment harness: configured runs, sweeps and figure/table drivers."""
+
+from repro.harness.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+    make_scheme,
+    find_oracle_times,
+    StateTraceRecorder,
+)
+from repro.harness.figures import (
+    fig5_state_traces,
+    fig12_fig13_sweep,
+    fig14_checkpoint_time,
+    fig15_instantaneous_latency,
+    fig16_recovery_time,
+    table1_failure_model,
+    headline_numbers,
+)
+from repro.harness.report import format_table, format_series
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "make_scheme",
+    "find_oracle_times",
+    "StateTraceRecorder",
+    "fig5_state_traces",
+    "fig12_fig13_sweep",
+    "fig14_checkpoint_time",
+    "fig15_instantaneous_latency",
+    "fig16_recovery_time",
+    "table1_failure_model",
+    "headline_numbers",
+    "format_table",
+    "format_series",
+]

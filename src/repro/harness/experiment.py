@@ -1,0 +1,262 @@
+"""One experiment = one app + one scheme + one schedule on one cluster.
+
+Mirrors the paper's measurement protocol (§IV): a warm-up, then a
+measured time window (10 minutes on EC2; scaled down by default here —
+set ``REPRO_FULL=1`` for paper-scale windows), with 0-8 application
+checkpoints arranged within the window.  Throughput and latency are
+measured at the app's probe stage (see
+:meth:`repro.metrics.collectors.MetricsHub.stage_throughput`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.apps import APPS
+from repro.cluster.topology import ClusterSpec
+from repro.core import (
+    BaselineScheme,
+    MSSrc,
+    MSSrcAP,
+    MSSrcAPAA,
+    OracleScheme,
+)
+from repro.core.costs import CostModel
+from repro.dsps.runtime import CheckpointScheme, DSPSRuntime, RuntimeConfig
+from repro.simulation.core import Environment, Interrupt
+
+FULL_SCALE = bool(int(os.environ.get("REPRO_FULL", "0")))
+DEFAULT_WINDOW = 600.0 if FULL_SCALE else 150.0
+DEFAULT_WARMUP = 60.0 if FULL_SCALE else 30.0
+
+SCHEME_NAMES = ("none", "baseline", "ms-src", "ms-src+ap", "ms-src+ap+aa", "oracle")
+
+
+@dataclass
+class ExperimentConfig:
+    app: str = "tmi"
+    scheme: str = "none"
+    n_checkpoints: int = 0
+    window: float = DEFAULT_WINDOW
+    warmup: float = DEFAULT_WARMUP
+    seed: int = 1
+    workers: int = 55
+    spares: int = 60  # enough for the worst-case (whole-app) restart
+    racks: int = 4
+    app_params: dict[str, Any] = field(default_factory=dict)
+    oracle_times: Optional[list[float]] = None
+    enable_recovery: bool = False
+    costs: Optional[CostModel] = None
+
+    def __post_init__(self):
+        if self.app not in APPS:
+            raise ValueError(f"unknown app {self.app!r}; choose from {sorted(APPS)}")
+        if self.scheme not in SCHEME_NAMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+
+    @property
+    def end(self) -> float:
+        return self.warmup + self.window
+
+    def checkpoint_times(self) -> list[float]:
+        """Evenly spaced instants inside the measured window."""
+        n = self.n_checkpoints
+        if n <= 0:
+            return []
+        return [self.warmup + (k + 0.5) * self.window / n for k in range(n)]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one run: probe-stage metrics plus live handles for
+    deeper inspection (scheme logs, runtime, optional state trace)."""
+
+    config: ExperimentConfig
+    throughput: int
+    latency: float
+    scheme: CheckpointScheme
+    runtime: DSPSRuntime
+    state_trace: Optional["StateTraceRecorder"] = None
+
+    @property
+    def checkpoint_logs(self):
+        getter = getattr(self.scheme, "checkpoint_logs", None)
+        return getter() if getter else []
+
+    def binned_latency(self, start: float, end: float, bin_width: float = 2.0):
+        probe = self.runtime.app.params.get("probe_prefix", "")
+        return self.runtime.metrics.stage_binned_latency(probe, start, end, bin_width)
+
+
+def make_scheme(cfg: ExperimentConfig) -> CheckpointScheme:
+    """Instantiate the configured fault-tolerance scheme for one run."""
+    times = cfg.checkpoint_times()
+    costs = cfg.costs or CostModel()
+    if cfg.scheme == "none":
+        return CheckpointScheme()
+    if cfg.scheme == "baseline":
+        period = cfg.window / cfg.n_checkpoints if cfg.n_checkpoints else None
+        return BaselineScheme(
+            checkpoint_period=period,
+            costs=costs,
+            enable_recovery=cfg.enable_recovery,
+            start_after=cfg.warmup,
+        )
+    if cfg.scheme == "ms-src":
+        return MSSrc(checkpoint_times=times, costs=costs, enable_recovery=cfg.enable_recovery)
+    if cfg.scheme == "ms-src+ap":
+        return MSSrcAP(checkpoint_times=times, costs=costs, enable_recovery=cfg.enable_recovery)
+    if cfg.scheme == "ms-src+ap+aa":
+        period = cfg.window / max(1, cfg.n_checkpoints)
+        return MSSrcAPAA(
+            checkpoint_period=period,
+            profile_duration=cfg.warmup * 0.8,
+            sample_interval=max(0.5, period / 40.0),
+            max_rounds=cfg.n_checkpoints or None,
+            costs=costs,
+            enable_recovery=cfg.enable_recovery,
+        )
+    if cfg.scheme == "oracle":
+        return OracleScheme(
+            checkpoint_times=list(cfg.oracle_times or times),
+            costs=costs,
+            enable_recovery=cfg.enable_recovery,
+        )
+    raise AssertionError(cfg.scheme)
+
+
+class StateTraceRecorder:
+    """Samples every HAU's state size over time (costless observation).
+
+    Feeds Fig. 5 (state-size fluctuation), Fig. 10/11 (profiling and
+    alert-mode demonstrations) and the Oracle's minima search.
+    """
+
+    def __init__(self, runtime: DSPSRuntime, interval: float = 1.0):
+        self.runtime = runtime
+        self.interval = interval
+        self.samples: dict[str, list[tuple[float, int]]] = {}
+        runtime.env.process(self._run(), label="state-trace")
+
+    def _run(self):
+        env = self.runtime.env
+        try:
+            while True:
+                yield env.timeout(self.interval)
+                for hau_id, hau in self.runtime.haus.items():
+                    if hau.node.alive:
+                        self.samples.setdefault(hau_id, []).append(
+                            (env.now, hau.state_size())
+                        )
+        except Interrupt:
+            return
+
+    def series(self, hau_prefix: str = "") -> list[tuple[float, int]]:
+        """Aggregate (summed) state-size series for HAUs matching prefix."""
+        by_time: dict[float, int] = {}
+        for hau_id, samples in self.samples.items():
+            if hau_id.startswith(hau_prefix):
+                for t, s in samples:
+                    by_time[t] = by_time.get(t, 0) + s
+        return sorted(by_time.items())
+
+    def total_series(self) -> list[tuple[float, int]]:
+        return self.series("")
+
+    def minima_per_period(
+        self, start: float, period: float, end: float, hau_prefix: str = ""
+    ) -> list[tuple[float, int]]:
+        series = [(t, s) for (t, s) in self.series(hau_prefix) if start <= t < end]
+        out = []
+        p = start
+        while p < end:
+            window = [(t, s) for (t, s) in series if p <= t < p + period]
+            if window:
+                out.append(min(window, key=lambda ts: ts[1]))
+            p += period
+        return out
+
+
+def run_experiment(
+    cfg: ExperimentConfig,
+    trace_state: bool = False,
+    failure_at: Optional[float] = None,
+    failure_targets: Optional[list[str]] = None,
+) -> ExperimentResult:
+    """Build, run and measure one experiment."""
+    env = Environment()
+    builder = APPS[cfg.app]
+    app = builder.build(seed=cfg.seed, **cfg.app_params)
+    runtime = DSPSRuntime(
+        env,
+        app,
+        make_scheme(cfg),
+        RuntimeConfig(
+            seed=cfg.seed,
+            cluster=ClusterSpec(workers=cfg.workers, spares=cfg.spares, racks=cfg.racks),
+            # Modest buffers: enough to keep the pipeline busy, small
+            # enough that in-band token collection (queue drain at the
+            # saturated stage) stays well inside a checkpoint period.
+            channel_capacity=16,
+            inbox_capacity=32,
+        ),
+    )
+    runtime.start()
+    trace = StateTraceRecorder(runtime) if trace_state else None
+
+    if failure_at is not None:
+
+        def killer():
+            yield env.timeout(failure_at)
+            targets = failure_targets
+            if targets is None:
+                # worst case: every node hosting an HAU fails (§IV-C)
+                targets = sorted({h.node.node_id for h in runtime.haus.values()})
+            for node_id in targets:
+                node = runtime.dc.node(node_id) if hasattr(runtime, "dc") else None
+                node = runtime.dc.node(node_id)
+                if node.alive:
+                    node.fail("experiment")
+
+        env.process(killer(), label="experiment-killer")
+
+    env.run(until=cfg.end)
+
+    probe = app.params.get("probe_prefix", "")
+    throughput = runtime.metrics.stage_throughput(probe, cfg.warmup, cfg.end)
+    latency = runtime.metrics.stage_latency(probe, cfg.warmup, cfg.end)
+    return ExperimentResult(
+        config=cfg,
+        throughput=throughput,
+        latency=latency,
+        scheme=runtime.scheme,
+        runtime=runtime,
+        state_trace=trace,
+    )
+
+
+def find_oracle_times(cfg: ExperimentConfig) -> list[float]:
+    """Measure a prior run and return the true per-period state minima.
+
+    "This checkpoint time is obtained from observing prior runs, when a
+    complete picture of the runtime state is available" (§IV-B).
+    """
+    observe = ExperimentConfig(
+        app=cfg.app,
+        scheme="none",
+        n_checkpoints=0,
+        window=cfg.window,
+        warmup=cfg.warmup,
+        seed=cfg.seed,
+        workers=cfg.workers,
+        spares=cfg.spares,
+        racks=cfg.racks,
+        app_params=dict(cfg.app_params),
+    )
+    result = run_experiment(observe, trace_state=True)
+    n = max(1, cfg.n_checkpoints)
+    period = cfg.window / n
+    minima = result.state_trace.minima_per_period(cfg.warmup, period, cfg.end)
+    return [t for (t, _s) in minima]

@@ -1,0 +1,16 @@
+"""Measurement: throughput, latency, checkpoint and recovery breakdowns."""
+
+from repro.metrics.collectors import MetricsHub, SinkSample
+from repro.metrics.breakdown import (
+    CheckpointBreakdown,
+    CheckpointLog,
+    RecoveryBreakdown,
+)
+
+__all__ = [
+    "MetricsHub",
+    "SinkSample",
+    "CheckpointBreakdown",
+    "CheckpointLog",
+    "RecoveryBreakdown",
+]

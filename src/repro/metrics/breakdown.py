@@ -1,0 +1,107 @@
+"""Checkpoint-time and recovery-time breakdowns (Figs. 14 and 16).
+
+Checkpoint time splits into *token collection* (command receipt to the
+arrival of tokens from all upstream neighbours), *disk I/O* (writing the
+state to stable storage) and *other* (state serialisation and process
+creation).  Recovery time splits into *disk I/O* (reading state),
+*reconnection* (controller re-wiring the recovered HAUs) and *other*
+(operator reload + deserialisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class CheckpointBreakdown:
+    """Timing of one HAU's individual checkpoint within a round."""
+
+    hau_id: str
+    round_id: int
+    command_at: float = 0.0
+    tokens_done_at: float = 0.0
+    write_start_at: float = 0.0
+    write_end_at: float = 0.0
+    state_bytes: int = 0
+    fork_seconds: float = 0.0
+    serialize_seconds: float = 0.0
+
+    @property
+    def token_collection(self) -> float:
+        return max(0.0, self.tokens_done_at - self.command_at)
+
+    @property
+    def disk_io(self) -> float:
+        return max(0.0, self.write_end_at - self.write_start_at)
+
+    @property
+    def other(self) -> float:
+        return self.fork_seconds + self.serialize_seconds
+
+    @property
+    def total(self) -> float:
+        return self.token_collection + self.other + self.disk_io
+
+
+@dataclass
+class CheckpointLog:
+    """All individual checkpoints of one application checkpoint round."""
+
+    round_id: int
+    started_at: float
+    haus: dict[str, CheckpointBreakdown] = field(default_factory=dict)
+    completed_at: Optional[float] = None
+
+    def breakdown(self, hau_id: str) -> CheckpointBreakdown:
+        bd = self.haus.get(hau_id)
+        if bd is None:
+            bd = CheckpointBreakdown(hau_id=hau_id, round_id=self.round_id)
+            self.haus[hau_id] = bd
+        return bd
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_at is not None
+
+    def slowest(self) -> Optional[CheckpointBreakdown]:
+        """The slowest individual checkpoint (the §IV-B measurement for
+        MS-src+ap/+aa, where individual checkpoints run in parallel)."""
+        done = [b for b in self.haus.values() if b.write_end_at > 0]
+        if not done:
+            return None
+        return max(done, key=lambda b: b.total)
+
+    def wall_clock(self) -> float:
+        """Start-of-round to last write completion (the MS-src measurement,
+        where token propagation and individual checkpoints overlap)."""
+        if not self.haus:
+            return 0.0
+        end = max(b.write_end_at for b in self.haus.values())
+        return max(0.0, end - self.started_at)
+
+    def total_state_bytes(self) -> int:
+        return sum(b.state_bytes for b in self.haus.values())
+
+
+@dataclass
+class RecoveryBreakdown:
+    """Timing of one recovery (worst case: whole application restart)."""
+
+    started_at: float
+    reload_seconds: float = 0.0  # phase 1 (slowest HAU)
+    disk_io_seconds: float = 0.0  # phase 2 (slowest HAU)
+    deserialize_seconds: float = 0.0  # phase 3 (slowest HAU)
+    reconnect_seconds: float = 0.0  # phase 4
+    completed_at: float = 0.0
+    haus_recovered: int = 0
+    bytes_read: int = 0
+
+    @property
+    def other(self) -> float:
+        return self.reload_seconds + self.deserialize_seconds
+
+    @property
+    def total(self) -> float:
+        return max(0.0, self.completed_at - self.started_at)

@@ -1,0 +1,140 @@
+"""Throughput / latency collectors (§IV-A definitions).
+
+"Throughput is defined as the number of tuples processed by the
+application within a 10-minute time window, and latency is defined as
+the average processing time of these tuples."  Instantaneous latency
+(§IV-B) is the per-tuple processing time during a checkpoint — here, the
+full arrival-time series at the sinks, binnable around any instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SinkSample:
+    """One tuple delivered to a sink."""
+
+    sink: str
+    created_at: float
+    arrived_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.arrived_at - self.created_at
+
+
+class MetricsHub:
+    """Collects sink deliveries and derives the paper's metrics."""
+
+    def __init__(self):
+        self.sink_samples: list[SinkSample] = []
+        # per-stage processing records: (hau_id, created_at, processed_at).
+        # Windowed applications (TMI's k-means, SignalGuru's episodes)
+        # deliver to the sink only once per window, so per-tuple throughput
+        # and latency are measured at a *probe stage* instead (§IV-A's
+        # "tuples processed by the application").
+        self.stage_samples: list[tuple[str, float, float]] = []
+        self.events: list[tuple[float, str, str]] = []  # (time, kind, detail)
+
+    # -- recording ----------------------------------------------------------------
+    def record_sink(self, sink: str, created_at: float, arrived_at: float) -> None:
+        self.sink_samples.append(SinkSample(sink, created_at, arrived_at))
+
+    def record_stage(self, hau_id: str, created_at: float, processed_at: float) -> None:
+        self.stage_samples.append((hau_id, created_at, processed_at))
+
+    # -- probe-stage metrics ---------------------------------------------------------
+    def _probe(self, probe_prefix: str, start: float, end: Optional[float]):
+        for hau_id, created, done in self.stage_samples:
+            if not hau_id.startswith(probe_prefix):
+                continue
+            if done >= start and (end is None or done < end):
+                yield created, done
+
+    def stage_throughput(
+        self, probe_prefix: str, start: float = 0.0, end: Optional[float] = None
+    ) -> int:
+        return sum(1 for _ in self._probe(probe_prefix, start, end))
+
+    def stage_latency(
+        self, probe_prefix: str, start: float = 0.0, end: Optional[float] = None
+    ) -> float:
+        lats = [done - created for created, done in self._probe(probe_prefix, start, end)]
+        return sum(lats) / len(lats) if lats else 0.0
+
+    def stage_latency_series(
+        self, probe_prefix: str, start: float = 0.0, end: Optional[float] = None
+    ) -> list[tuple[float, float]]:
+        return [(done, done - created) for created, done in self._probe(probe_prefix, start, end)]
+
+    def stage_binned_latency(
+        self, probe_prefix: str, start: float, end: float, bin_width: float
+    ) -> list[tuple[float, float]]:
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        bins: dict[int, list[float]] = {}
+        for created, done in self._probe(probe_prefix, start, end):
+            bins.setdefault(int((done - start) // bin_width), []).append(done - created)
+        n_bins = int((end - start) / bin_width)
+        return [
+            (
+                start + (b + 0.5) * bin_width,
+                (sum(bins[b]) / len(bins[b])) if bins.get(b) else 0.0,
+            )
+            for b in range(n_bins)
+        ]
+
+    def record_event(self, time: float, kind: str, detail: str = "") -> None:
+        self.events.append((time, kind, detail))
+
+    # -- derived metrics -----------------------------------------------------------
+    def throughput(self, start: float = 0.0, end: Optional[float] = None) -> int:
+        """Tuples delivered to sinks in [start, end)."""
+        return sum(
+            1
+            for s in self.sink_samples
+            if s.arrived_at >= start and (end is None or s.arrived_at < end)
+        )
+
+    def average_latency(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        lats = [
+            s.latency
+            for s in self.sink_samples
+            if s.arrived_at >= start and (end is None or s.arrived_at < end)
+        ]
+        return sum(lats) / len(lats) if lats else 0.0
+
+    def latency_series(
+        self, start: float = 0.0, end: Optional[float] = None
+    ) -> list[tuple[float, float]]:
+        """(arrival time, latency) pairs — instantaneous latency raw data."""
+        return [
+            (s.arrived_at, s.latency)
+            for s in self.sink_samples
+            if s.arrived_at >= start and (end is None or s.arrived_at < end)
+        ]
+
+    def binned_latency(
+        self, start: float, end: float, bin_width: float
+    ) -> list[tuple[float, float]]:
+        """Average latency per time bin — the Fig. 15 series."""
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        bins: dict[int, list[float]] = {}
+        for s in self.sink_samples:
+            if start <= s.arrived_at < end:
+                bins.setdefault(int((s.arrived_at - start) // bin_width), []).append(s.latency)
+        out = []
+        n_bins = int((end - start) / bin_width)
+        for b in range(n_bins):
+            lats = bins.get(b, [])
+            centre = start + (b + 0.5) * bin_width
+            out.append((centre, sum(lats) / len(lats) if lats else 0.0))
+        return out
+
+    def peak_binned_latency(self, start: float, end: float, bin_width: float) -> float:
+        series = [v for (_t, v) in self.binned_latency(start, end, bin_width) if v > 0]
+        return max(series) if series else 0.0

@@ -1,0 +1,376 @@
+"""Core of the discrete-event engine: events, processes, environment.
+
+The engine is a classic event-heap design.  An :class:`Event` has a value
+and a list of callbacks; scheduling an event pushes ``(time, priority,
+seq, event)`` onto a heap.  A :class:`Process` wraps a generator: every
+``yield`` hands back an event (or condition), and the process resumes when
+that event fires.  This mirrors the structure of SimPy, trimmed to what
+the reproduction needs and tuned for determinism.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+# Event scheduling priorities.  URGENT is used internally for process
+# resumption bookkeeping so that, at a given instant, state mutations
+# settle before ordinary events fire.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (not model errors)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    ``cause`` carries an arbitrary payload describing why (e.g. the
+    failure event that killed the node hosting the process).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; :meth:`succeed` or :meth:`fail` settles it
+    exactly once.  Callbacks registered before settlement run when the
+    environment pops the event off the heap; callbacks registered after
+    settlement run immediately at the current simulated instant.
+    """
+
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_settled",
+        "_scheduled",
+        "_flushed",
+        "name",
+    )
+
+    def __init__(self, env: "Environment", name: str = ""):
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._settled = False
+        self._scheduled = False
+        self._flushed = False
+        self.name = name
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been settled (succeeded or failed)."""
+        return self._settled
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        if not self._settled:
+            raise SimulationError(f"value of pending event {self!r}")
+        return self._value
+
+    # -- settlement --------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Settle the event successfully, scheduling callbacks after ``delay``."""
+        if self._settled:
+            raise SimulationError(f"event {self!r} already settled")
+        self._settled = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Settle the event with an exception; waiters see it raised."""
+        if self._settled:
+            raise SimulationError(f"event {self!r} already settled")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._settled = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, delay=delay)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "settled" if self._settled else "pending"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._settled = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite waits."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("condition mixes environments")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev._flushed:
+                # Fired in the past: observe right away.
+                self._observe(ev)
+            else:
+                # Pending, or settled but not yet fired (e.g. a Timeout whose
+                # delay has not elapsed): wait for its callback flush.
+                ev.callbacks.append(self._observe)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev.value for ev in self.events if ev._flushed and ev.ok}
+
+    def _observe(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when any constituent event fires (or fails)."""
+
+    __slots__ = ()
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired."""
+
+    __slots__ = ()
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator ends.
+
+    The generator yields :class:`Event` objects.  When a yielded event
+    succeeds, its value is sent back into the generator; when it fails,
+    the exception is thrown in.  :meth:`interrupt` throws
+    :class:`Interrupt` into the generator at the current instant.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "label")
+
+    def __init__(self, env: "Environment", generator: Generator, label: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process target {generator!r} is not a generator")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.label = label
+        # Bootstrap: resume once at the current instant.
+        boot = Event(env, name=f"boot:{label}")
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self.triggered:
+            return  # interrupting a finished process is a no-op
+        # Detach from whatever we were waiting on so its later settlement
+        # does not resume us twice.
+        waited = self._waiting_on
+        if waited is not None and self._resume in waited.callbacks:
+            waited.callbacks.remove(self._resume)
+        self._waiting_on = None
+        kick = Event(self.env, name=f"interrupt:{self.label}")
+        kick.callbacks.append(lambda _ev: self._step(throw=Interrupt(cause)))
+        kick.succeed(delay=0.0)
+
+    # -- internal ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if self.triggered:
+            return
+        if event.ok:
+            self._step(send=event.value)
+        else:
+            self._step(throw=event.value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        if self.triggered:
+            return
+        self.env._active_process = self
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An uncaught Interrupt terminates the process quietly: this is
+            # the normal fate of a process on a killed node.
+            self.succeed(None)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        finally:
+            self.env._active_process = None
+
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(SimulationError(f"process {self.label!r} yielded non-event {target!r}"))
+            return
+        self._waiting_on = target
+        if target._flushed:
+            # The event already flushed its callbacks (it fired in the past):
+            # resume via a fresh event so we stay in heap order.
+            kick = Event(self.env, name=f"rewait:{self.label}")
+            kick.callbacks.append(lambda _ev: self._resume(target))
+            kick.succeed()
+        else:
+            target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.label!r} {state}>"
+
+
+class Environment:
+    """Holds the clock and the event heap; runs the simulation."""
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories ----------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, label: str = "") -> Process:
+        return Process(self, generator, label=label)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def step(self) -> None:
+        """Pop and fire the next event; advances the clock."""
+        if not self._heap:
+            raise SimulationError("step() on empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self._now - 1e-12:
+            raise SimulationError("event scheduled in the past")
+        self._now = max(self._now, when)
+        event._flushed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for cb in callbacks:
+            cb(event)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until a time, an event, or schedule exhaustion.
+
+        * ``until`` is a number → run until the clock reaches it.
+        * ``until`` is an :class:`Event` → run until it fires; returns its
+          value (raises if it failed).
+        * ``until`` is None → run until no events remain.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            sentinel = until
+            done = {"hit": sentinel._flushed}
+            if not done["hit"]:
+                sentinel.callbacks.append(lambda _ev: done.__setitem__("hit", True))
+            while not done["hit"]:
+                if not self._heap:
+                    if sentinel.triggered:
+                        break
+                    raise SimulationError("schedule exhausted before until-event fired")
+                self.step()
+            if not sentinel.ok:
+                raise sentinel.value
+            return sentinel.value
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError("cannot run backwards in time")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,266 @@
+"""Shared-resource primitives: capacity-limited resources and FIFO stores.
+
+These model contention in the cluster: a node's CPU cores, a disk's
+request queue, a NIC.  Both follow the SimPy request/release idiom but
+are deliberately small: requests are events, granted strictly FIFO
+(deterministic), and cancellable (a process killed while queued must not
+later wake up and hold the resource).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.simulation.core import Environment, Event, SimulationError
+
+
+class _Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "priority", "_seq")
+
+    def __init__(self, env: Environment, resource: "Resource", priority: int = 0):
+        super().__init__(env)
+        self.resource = resource
+        self.priority = priority
+        self._seq = 0
+
+    def cancel(self) -> None:
+        """Withdraw the claim; releases the slot if already granted."""
+        if self.triggered:
+            self.resource.release(self)
+        else:
+            self.resource._abandon(self)
+
+
+class Resource:
+    """A counted resource with ``capacity`` identical slots.
+
+    Grants are FIFO within a priority class; a lower ``priority`` value is
+    served first (used e.g. to let small latency-sensitive disk writes
+    overtake bulk checkpoint chunks between service quanta).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._queue: list[tuple[int, int, _Request]] = []  # heap
+        self._seq = 0
+        self._users: set[_Request] = set()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def request(self, priority: int = 0) -> _Request:
+        req = _Request(self.env, self, priority=priority)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed()
+        else:
+            self._seq += 1
+            req._seq = self._seq
+            heapq.heappush(self._queue, (priority, self._seq, req))
+        return req
+
+    def release(self, request: _Request) -> None:
+        if request not in self._users:
+            raise SimulationError("releasing a request that does not hold the resource")
+        self._users.remove(request)
+        self._grant_next()
+
+    def _abandon(self, request: _Request) -> None:
+        for i, (_p, _s, queued) in enumerate(self._queue):
+            if queued is request:
+                del self._queue[i]
+                heapq.heapify(self._queue)
+                return
+
+    def _grant_next(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            _p, _s, nxt = heapq.heappop(self._queue)
+            self._users.add(nxt)
+            nxt.succeed()
+
+
+class _Get(Event):
+    __slots__ = ("store",)
+
+    def __init__(self, env: Environment, store: "Store"):
+        super().__init__(env)
+        self.store = store
+
+    def cancel(self) -> None:
+        if not self.triggered:
+            self.store._abandon_get(self)
+
+
+class _Put(Event):
+    __slots__ = ("store", "item")
+
+    def __init__(self, env: Environment, store: "Store", item: Any):
+        super().__init__(env)
+        self.store = store
+        self.item = item
+
+    def cancel(self) -> None:
+        if not self.triggered:
+            self.store._abandon_put(self)
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue of items.
+
+    ``get()`` returns an event that fires with the next item; ``put(item)``
+    returns an event that fires when the item is accepted (immediately if
+    under capacity).  Used for operator input buffers and network channel
+    endpoints.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[_Get] = deque()
+        self._putters: deque[_Put] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def peek_all(self) -> tuple[Any, ...]:
+        """Snapshot of queued items, head first (used by checkpointing)."""
+        return tuple(self.items)
+
+    def put(self, item: Any) -> _Put:
+        ev = _Put(self.env, self, item)
+        self._putters.append(ev)
+        self._drain()
+        return ev
+
+    def put_front(self, item: Any) -> None:
+        """Insert ``item`` at the *head* of the queue, bypassing capacity.
+
+        Used for checkpoint tokens, which Meteor Shower places "at the
+        head of the queue" of the output buffers (§III-B); tokens are tiny
+        and must never be delayed behind backpressured data.
+        """
+        self.items.appendleft(item)
+        self._drain()
+
+    def get(self) -> _Get:
+        ev = _Get(self.env, self)
+        self._getters.append(ev)
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # admit puts while there is room
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # satisfy getters while there are items
+            while self._getters and self.items:
+                get = self._getters.popleft()
+                get.succeed(self.items.popleft())
+                progress = True
+
+    def _abandon_get(self, ev: _Get) -> None:
+        try:
+            self._getters.remove(ev)
+        except ValueError:
+            pass
+
+    def _abandon_put(self, ev: _Put) -> None:
+        try:
+            self._putters.remove(ev)
+        except ValueError:
+            pass
+
+
+class PriorityStore(Store):
+    """A store that yields the smallest item first (items must be orderable).
+
+    Ties are broken by insertion order via an internal sequence number, so
+    heterogeneous payloads can be wrapped as ``(priority, payload)``.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        super().__init__(env, capacity)
+        self._seq = 0
+
+    def put(self, item: Any) -> _Put:
+        self._seq += 1
+        return super().put((item, self._seq))
+
+    def get(self) -> _Get:
+        ev = _Get(self.env, self)
+        self._getters.append(ev)
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            if self._getters and self.items:
+                best_idx = min(range(len(self.items)), key=lambda i: self.items[i])
+                item, _seq = self.items[best_idx]
+                del self.items[best_idx]
+                self._getters.popleft().succeed(item)
+                progress = True
+
+
+class Gate:
+    """A reusable open/closed barrier.
+
+    Processes wait on :meth:`wait`; :meth:`open` releases all current
+    waiters and lets future waiters pass immediately until :meth:`close`.
+    Used to pause an HAU's intake during synchronous checkpoints.
+    """
+
+    def __init__(self, env: Environment, opened: bool = True):
+        self.env = env
+        self._opened = opened
+        self._waiters: list[Event] = []
+
+    @property
+    def is_open(self) -> bool:
+        return self._opened
+
+    def wait(self) -> Event:
+        ev = Event(self.env, name="gate")
+        if self._opened:
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def open(self) -> None:
+        self._opened = True
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    def close(self) -> None:
+        self._opened = False

@@ -1,0 +1,31 @@
+"""State-size machinery for application-aware checkpointing (§III-C).
+
+Replaces the paper's C++ precompiler with declarative hints: an operator
+lists its state attributes and optional :class:`StateHint`s; sampling
+estimators produce the cheap ``state_size()`` the controller consumes.
+
+Also home to the runtime side of §III-C2: turning-point detection with
+instantaneous change rates (ICR), dynamic-HAU classification, and the
+profiling pass that derives the alert-mode threshold ``smax``.
+"""
+
+from repro.state.spec import StateHint, estimate_state_size, nominal_size
+from repro.state.turning import TurningPointDetector, TurningPoint
+from repro.state.profile import (
+    StateProfile,
+    ProfileResult,
+    is_dynamic,
+    MIN_RELAXATION,
+)
+
+__all__ = [
+    "StateHint",
+    "estimate_state_size",
+    "nominal_size",
+    "TurningPointDetector",
+    "TurningPoint",
+    "StateProfile",
+    "ProfileResult",
+    "is_dynamic",
+    "MIN_RELAXATION",
+]

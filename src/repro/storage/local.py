@@ -1,0 +1,97 @@
+"""Local-disk store used by input preservation (baseline scheme).
+
+The baseline buffers output tuples in a bounded in-memory buffer
+(default 50 MB per the paper §II-B3) and dumps the buffer to the local
+disk when full.  Dumped bytes stay addressable (for replay) until the
+downstream acknowledgement discards them.  A node failure loses the
+local store — which is precisely why the baseline cannot survive
+correlated failures that take out both an HAU and its upstream.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.node import Node
+
+DEFAULT_BUFFER_BYTES = 50 * 1024 * 1024  # 50 MB, per the paper
+
+
+class LocalStore:
+    """Bounded memory buffer with spill-to-local-disk.
+
+    ``append`` is a process generator: it is free while the buffer has
+    room and pays a disk dump when full.  ``discard_through`` drops
+    entries up to a sequence number (downstream checkpoint ack).
+    """
+
+    def __init__(self, node: Node, buffer_bytes: int = DEFAULT_BUFFER_BYTES):
+        self.node = node
+        self.buffer_bytes = int(buffer_bytes)
+        self._mem: list[tuple[int, Any, int]] = []  # (seq, item, size)
+        self._mem_bytes = 0
+        self._disk: list[tuple[int, Any, int]] = []
+        self._disk_bytes = 0
+        self.spills = 0
+        self.bytes_spilled = 0
+
+    def __len__(self) -> int:
+        return len(self._mem) + len(self._disk)
+
+    @property
+    def mem_bytes(self) -> int:
+        return self._mem_bytes
+
+    @property
+    def disk_bytes(self) -> int:
+        return self._disk_bytes
+
+    def append(self, seq: int, item: Any, size: int):
+        """Retain ``item``; spills the memory buffer to disk when full."""
+        self.node.check_alive()
+        size = int(size)
+        if self._mem_bytes + size > self.buffer_bytes and self._mem:
+            # Dump the whole buffer (sequential write), then keep going.
+            dump_bytes = self._mem_bytes
+            yield from self.node.disk.transfer(dump_bytes)
+            self._disk.extend(self._mem)
+            self._disk_bytes += dump_bytes
+            self._mem = []
+            self._mem_bytes = 0
+            self.spills += 1
+            self.bytes_spilled += dump_bytes
+        self._mem.append((seq, item, size))
+        self._mem_bytes += size
+
+    def discard_through(self, seq: int) -> int:
+        """Drop all entries with sequence <= seq; returns bytes freed."""
+        freed = 0
+        kept_mem = []
+        for entry in self._mem:
+            if entry[0] <= seq:
+                freed += entry[2]
+            else:
+                kept_mem.append(entry)
+        self._mem_bytes -= sum(e[2] for e in self._mem) - sum(e[2] for e in kept_mem)
+        self._mem = kept_mem
+        kept_disk = []
+        for entry in self._disk:
+            if entry[0] <= seq:
+                freed += entry[2]
+                self._disk_bytes -= entry[2]
+            else:
+                kept_disk.append(entry)
+        self._disk = kept_disk
+        return freed
+
+    def replay_after(self, seq: int):
+        """Process generator yielding nothing; returns retained items > seq.
+
+        Reading spilled entries costs a disk read.
+        """
+        self.node.check_alive()
+        disk_hits = [e for e in self._disk if e[0] > seq]
+        if disk_hits:
+            yield from self.node.disk.transfer(sum(e[2] for e in disk_hits))
+        items = sorted(disk_hits + [e for e in self._mem if e[0] > seq])
+        return [(s, item, sz) for (s, item, sz) in items]

@@ -1,0 +1,128 @@
+"""Tests for the baseline: input preservation, independent checkpoints,
+1-safe recovery, and its failure under correlated faults."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import BaselineScheme
+from repro.dsps import DSPSRuntime, RuntimeConfig, StreamApplication
+from repro.dsps.testing import make_chain_graph
+from repro.simulation import Environment
+
+
+def deploy(scheme, seed=7, workers=6, spares=6, **graph_kw):
+    g, holder = make_chain_graph(**graph_kw)
+    env = Environment()
+    app = StreamApplication(name="t", graph=g)
+    rt = DSPSRuntime(
+        env,
+        app,
+        scheme,
+        RuntimeConfig(seed=seed, cluster=ClusterSpec(workers=workers, spares=spares, racks=2)),
+    )
+    rt.start()
+    return env, rt, holder
+
+
+def test_every_hau_checkpoints_periodically():
+    scheme = BaselineScheme(checkpoint_period=2.0)
+    env, rt, _ = deploy(scheme)
+    env.run(until=10.0)
+    hau_ids = {bd.hau_id for bd in scheme.breakdowns}
+    assert hau_ids == set(rt.app.graph.haus)
+    # roughly 10/2 = 5 rounds per HAU (first phase is random in [0, P))
+    per_hau = [sum(1 for b in scheme.breakdowns if b.hau_id == h) for h in hau_ids]
+    assert all(3 <= n <= 6 for n in per_hau)
+
+
+def test_first_checkpoint_phases_are_spread():
+    scheme = BaselineScheme(checkpoint_period=5.0)
+    env, rt, _ = deploy(scheme)
+    env.run(until=6.0)
+    firsts = {}
+    for bd in scheme.breakdowns:
+        firsts.setdefault(bd.hau_id, bd.write_start_at)
+    assert len(set(round(t, 3) for t in firsts.values())) > 1
+
+
+def test_input_preservation_retains_at_every_hau():
+    scheme = BaselineScheme(checkpoint_period=None)  # no checkpoints, no acks
+    env, rt, _ = deploy(scheme)
+    env.run(until=5.0)
+    # every non-sink HAU has retained output
+    for hau_id in ("src", "agg", "mid"):
+        store = scheme.preserver._stores.get(hau_id)
+        assert store is not None and len(store) > 0
+    assert scheme.preserver.total_retained_bytes() > 0
+
+
+def test_ack_discards_upstream_retention():
+    scheme = BaselineScheme(checkpoint_period=1.0)
+    env, rt, _ = deploy(scheme)
+    env.run(until=12.0)
+    # after many rounds, retention should be bounded (acked away), i.e.
+    # much less than everything ever emitted
+    total_emitted_bytes = sum(
+        ch.bytes_delivered for ch in rt.dc.channels() if "->" in ch.name and "ctl" not in ch.name
+    )
+    assert scheme.preserver.total_retained_bytes() < total_emitted_bytes
+
+
+def test_buffer_spills_to_local_disk():
+    scheme = BaselineScheme(checkpoint_period=None, buffer_bytes=200_000)
+    env, rt, _ = deploy(scheme, tuple_size=50_000)
+    env.run(until=5.0)
+    src_store = scheme.preserver._stores["src"]
+    assert src_store.spills > 0
+    assert src_store.bytes_spilled > 0
+
+
+def run_with_failure(fail_time, victims, until=40.0, seed=7, **graph_kw):
+    scheme = BaselineScheme(checkpoint_period=1.0, enable_recovery=True)
+    env, rt, holder = deploy(scheme, seed=seed, **graph_kw)
+
+    def killer():
+        yield env.timeout(fail_time)
+        for hau_id in victims:
+            rt.haus[hau_id].node.fail("injected")
+
+    env.process(killer())
+    env.run(until=until)
+    return rt, holder["sink"].payload_log, scheme
+
+
+def test_single_failure_recovers_exactly_once():
+    clean_scheme = BaselineScheme(checkpoint_period=1.0)
+    env, clean_rt, clean_holder = deploy(clean_scheme)
+    env.run(until=40.0)
+    clean_log = clean_holder["sink"].payload_log
+
+    rt, failed_log, scheme = run_with_failure(2.3, ["mid"])
+    assert scheme.recovered and scheme.recovered[0][1] == "mid"
+    assert not scheme.unrecoverable
+    assert failed_log == clean_log
+
+
+def test_single_failure_restarts_on_spare():
+    rt, _, scheme = run_with_failure(2.3, ["agg"])
+    assert rt.haus["agg"].node.alive
+    assert rt.haus["agg"].node.node_id.startswith("spare")
+
+
+def test_correlated_failure_is_unrecoverable():
+    """The baseline's 1-safety limit: when an HAU and its upstream die
+    together, the upstream's retained buffer is gone."""
+    rt, _, scheme = run_with_failure(2.3, ["agg", "mid"])
+    assert scheme.unrecoverable
+    lost = {h for (_t, h) in scheme.unrecoverable}
+    assert "mid" in lost
+
+
+def test_source_failure_unrecoverable_without_stable_preservation():
+    """A dead source in the baseline loses its in-memory/local-disk buffer;
+    the baseline can restart it from its checkpoint but tuples retained
+    only on the dead node are gone. Our model restarts it (sources keep
+    their own retention), so here we just assert the recovery completes."""
+    rt, failed_log, scheme = run_with_failure(2.3, ["src"])
+    # src has no upstream, so single-failure recovery applies
+    assert scheme.recovered and scheme.recovered[0][1] == "src"

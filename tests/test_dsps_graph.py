@@ -1,0 +1,153 @@
+"""Tests for the query network builder/validator."""
+
+import pytest
+
+from repro.dsps import GraphError, QueryGraph
+from repro.dsps.operator import SinkOperator, SourceOperator, StatelessMapOperator
+from repro.dsps.operator import Emit
+
+
+class TinySource(SourceOperator):
+    def generate(self):
+        yield (1.0, Emit(payload=1, size=100))
+
+
+def _src():
+    return [TinySource()]
+
+
+def _mapop():
+    return [StatelessMapOperator(lambda x: x)]
+
+
+def _sink():
+    return [SinkOperator()]
+
+
+def chain_graph():
+    g = QueryGraph()
+    g.add_hau("s", _src, is_source=True)
+    g.add_hau("m", _mapop)
+    g.add_hau("k", _sink, is_sink=True)
+    g.connect("s", "m")
+    g.connect("m", "k")
+    return g
+
+
+def test_valid_chain_passes():
+    g = chain_graph()
+    g.validate()
+    assert g.sources() == ["s"]
+    assert g.sinks() == ["k"]
+    assert g.upstream("m") == ["s"]
+    assert g.downstream("m") == ["k"]
+    assert len(g) == 3
+
+
+def test_duplicate_hau_rejected():
+    g = QueryGraph()
+    g.add_hau("a", _mapop)
+    with pytest.raises(GraphError):
+        g.add_hau("a", _mapop)
+
+
+def test_unknown_endpoint_rejected():
+    g = QueryGraph()
+    g.add_hau("a", _mapop)
+    with pytest.raises(GraphError):
+        g.connect("a", "b")
+
+
+def test_duplicate_edge_rejected():
+    g = chain_graph()
+    with pytest.raises(GraphError):
+        g.connect("s", "m")
+
+
+def test_cycle_rejected():
+    g = QueryGraph()
+    g.add_hau("s", _src, is_source=True)
+    g.add_hau("a", _mapop)
+    g.add_hau("b", _mapop)
+    g.add_hau("k", _sink, is_sink=True)
+    g.connect("s", "a")
+    g.connect("a", "b")
+    g.connect("b", "a", src_port=1, dst_port=1)
+    g.connect("b", "k")
+    with pytest.raises(GraphError, match="cycle"):
+        g.validate()
+
+
+def test_source_with_inbound_rejected():
+    g = QueryGraph()
+    g.add_hau("s1", _src, is_source=True)
+    g.add_hau("s2", _src, is_source=True)
+    g.add_hau("k", _sink, is_sink=True)
+    g.connect("s1", "s2")
+    g.connect("s2", "k")
+    with pytest.raises(GraphError, match="inbound"):
+        g.validate()
+
+
+def test_sink_with_outbound_rejected():
+    g = QueryGraph()
+    g.add_hau("s", _src, is_source=True)
+    g.add_hau("k", _sink, is_sink=True)
+    g.add_hau("m", _mapop)
+    g.connect("s", "k")
+    g.connect("k", "m")
+    g.connect("m", "m2") if False else None
+    with pytest.raises(GraphError):
+        g.validate()
+
+
+def test_orphan_hau_rejected():
+    g = chain_graph()
+    g.add_hau("orphan", _mapop)
+    with pytest.raises(GraphError):
+        g.validate()
+
+
+def test_no_sources_rejected():
+    g = QueryGraph()
+    g.add_hau("a", _mapop)
+    g.add_hau("b", _mapop)
+    g.connect("a", "b")
+    with pytest.raises(GraphError):
+        g.validate()
+
+
+def test_noncontiguous_input_ports_rejected():
+    g = QueryGraph()
+    g.add_hau("s", _src, is_source=True)
+    g.add_hau("j", _mapop)
+    g.connect("s", "j", dst_port=1)  # port 0 missing
+    with pytest.raises(GraphError, match="ports"):
+        g.validate()
+
+
+def test_bad_routing_mode_rejected():
+    g = chain_graph()
+    with pytest.raises(GraphError):
+        g.connect("s", "k", src_port=1, routing="magic")
+
+
+def test_topological_order_respects_edges():
+    g = chain_graph()
+    order = g.topological_order()
+    assert order.index("s") < order.index("m") < order.index("k")
+
+
+def test_fanout_and_ports():
+    g = QueryGraph()
+    g.add_hau("s", _src, is_source=True)
+    g.add_hau("a", _mapop)
+    g.add_hau("b", _mapop)
+    g.add_hau("k", _sink, is_sink=True)
+    g.connect("s", "a")
+    g.connect("s", "b")
+    g.connect("a", "k", dst_port=0)
+    g.connect("b", "k", dst_port=1)
+    g.validate()
+    assert g.downstream("s") == ["a", "b"]
+    assert len(g.in_edges("k")) == 2

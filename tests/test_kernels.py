@@ -1,0 +1,122 @@
+"""Tests for the application kernels (k-means, vision, SVM)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels import (
+    LinearSVM,
+    assign_clusters,
+    color_filter,
+    count_people,
+    frame_difference,
+    kmeans,
+    make_frame,
+    shape_filter,
+)
+
+
+# --- k-means ---------------------------------------------------------------------
+
+
+def test_kmeans_separates_obvious_clusters():
+    rng = np.random.default_rng(0)
+    a = rng.normal(0.0, 0.1, size=(50, 2))
+    b = rng.normal(10.0, 0.1, size=(50, 2))
+    pts = np.vstack([a, b])
+    centroids, labels = kmeans(pts, k=2)
+    assert centroids.shape == (2, 2)
+    # the two halves get distinct labels, consistently
+    assert len(set(labels[:50])) == 1
+    assert len(set(labels[50:])) == 1
+    assert labels[0] != labels[-1]
+
+
+def test_kmeans_deterministic_given_input():
+    rng = np.random.default_rng(1)
+    pts = rng.normal(size=(100, 3))
+    c1, l1 = kmeans(pts, k=4)
+    c2, l2 = kmeans(pts.copy(), k=4)
+    assert np.array_equal(c1, c2)
+    assert np.array_equal(l1, l2)
+
+
+def test_kmeans_k_capped_at_n():
+    pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+    centroids, labels = kmeans(pts, k=4)
+    assert centroids.shape[0] == 2
+
+
+def test_kmeans_rejects_empty():
+    with pytest.raises(ValueError):
+        kmeans(np.empty((0, 2)))
+
+
+def test_assign_clusters_nearest():
+    centroids = np.array([[0.0, 0.0], [10.0, 10.0]])
+    pts = np.array([[1.0, 1.0], [9.0, 9.0]])
+    assert assign_clusters(pts, centroids).tolist() == [0, 1]
+
+
+# --- vision --------------------------------------------------------------------------
+
+
+def test_count_people_exact():
+    rng = np.random.default_rng(2)
+    for n in (0, 1, 3, 7):
+        frame = make_frame(rng, people=n)
+        assert count_people(frame) == n
+
+
+def test_color_filter_detects_each_colour():
+    rng = np.random.default_rng(3)
+    for colour in ("red", "yellow", "green"):
+        frame = make_frame(rng, people=2, light=colour)
+        assert color_filter(frame) == colour
+
+
+def test_color_filter_none_when_absent():
+    rng = np.random.default_rng(4)
+    frame = make_frame(rng, people=2, light=None)
+    assert color_filter(frame) is None
+
+
+def test_shape_filter_confirms_light():
+    rng = np.random.default_rng(5)
+    frame = make_frame(rng, light="green")
+    assert shape_filter(frame, "green")
+    assert not shape_filter(frame, None)
+    assert not shape_filter(frame, "red")
+
+
+def test_frame_difference_zero_for_identical():
+    rng = np.random.default_rng(6)
+    frame = make_frame(rng, people=1)
+    assert frame_difference(frame, frame) == 0.0
+    other = make_frame(rng, people=5)
+    assert frame_difference(frame, other) > 0.0
+
+
+# --- SVM ----------------------------------------------------------------------------
+
+
+def test_svm_learns_linearly_separable():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(200, 2))
+    y = np.where(X[:, 0] + X[:, 1] > 0, 1, -1)
+    svm = LinearSVM(dim=2).fit(X, y, epochs=100)
+    assert svm.accuracy(X, y) > 0.95
+
+
+def test_svm_deterministic():
+    rng = np.random.default_rng(8)
+    X = rng.normal(size=(100, 3))
+    y = np.where(X[:, 0] > 0, 1, -1)
+    a = LinearSVM(dim=3).fit(X, y)
+    b = LinearSVM(dim=3).fit(X, y)
+    assert np.array_equal(a.w, b.w)
+    assert a.b == b.b
+
+
+def test_svm_rejects_bad_labels():
+    with pytest.raises(ValueError):
+        LinearSVM(dim=1).fit(np.zeros((2, 1)), np.array([0, 2]))

@@ -1,0 +1,108 @@
+"""Unit tests for metrics collectors and breakdown records."""
+
+import pytest
+
+from repro.metrics import CheckpointBreakdown, CheckpointLog, MetricsHub, RecoveryBreakdown
+
+
+def test_throughput_counts_window():
+    hub = MetricsHub()
+    for t in (1.0, 2.0, 3.0, 10.0):
+        hub.record_sink("k", t - 0.5, t)
+    assert hub.throughput() == 4
+    assert hub.throughput(start=2.0, end=5.0) == 2
+
+
+def test_average_latency():
+    hub = MetricsHub()
+    hub.record_sink("k", 0.0, 2.0)
+    hub.record_sink("k", 1.0, 2.0)
+    assert hub.average_latency() == pytest.approx(1.5)
+    assert hub.average_latency(start=100.0) == 0.0
+
+
+def test_latency_series_and_binned():
+    hub = MetricsHub()
+    for i in range(10):
+        hub.record_sink("k", float(i), float(i) + (2.0 if i >= 5 else 0.5))
+    series = hub.latency_series()
+    assert len(series) == 10
+    binned = hub.binned_latency(0.0, 12.0, 6.0)
+    assert len(binned) == 2
+    assert binned[0][1] < binned[1][1]  # spike in the second half
+    assert hub.peak_binned_latency(0.0, 12.0, 6.0) == binned[1][1]
+
+
+def test_binned_latency_validates_width():
+    hub = MetricsHub()
+    with pytest.raises(ValueError):
+        hub.binned_latency(0.0, 1.0, 0.0)
+
+
+def test_stage_metrics_filter_by_prefix():
+    hub = MetricsHub()
+    hub.record_stage("A0", 0.0, 1.0)
+    hub.record_stage("A1", 0.0, 3.0)
+    hub.record_stage("B0", 0.0, 10.0)
+    assert hub.stage_throughput("A") == 2
+    assert hub.stage_latency("A") == pytest.approx(2.0)
+    assert hub.stage_throughput("B") == 1
+    assert hub.stage_throughput("") == 3
+    series = hub.stage_latency_series("A")
+    assert series == [(1.0, 1.0), (3.0, 3.0)]
+
+
+def test_stage_binned_latency():
+    hub = MetricsHub()
+    hub.record_stage("A0", 0.0, 1.0)
+    hub.record_stage("A0", 8.0, 9.0)
+    binned = hub.stage_binned_latency("A", 0.0, 10.0, 5.0)
+    assert len(binned) == 2
+    assert binned[0][1] == pytest.approx(1.0)
+
+
+def test_checkpoint_breakdown_components():
+    bd = CheckpointBreakdown(
+        hau_id="h", round_id=1, command_at=10.0, tokens_done_at=12.0,
+        write_start_at=13.0, write_end_at=20.0,
+        fork_seconds=0.5, serialize_seconds=1.0,
+    )
+    assert bd.token_collection == pytest.approx(2.0)
+    assert bd.disk_io == pytest.approx(7.0)
+    assert bd.other == pytest.approx(1.5)
+    assert bd.total == pytest.approx(10.5)
+
+
+def test_checkpoint_log_slowest_and_wallclock():
+    log = CheckpointLog(round_id=1, started_at=0.0)
+    a = log.breakdown("a")
+    a.command_at, a.tokens_done_at = 0.0, 1.0
+    a.write_start_at, a.write_end_at = 1.0, 4.0
+    b = log.breakdown("b")
+    b.command_at, b.tokens_done_at = 0.0, 2.0
+    b.write_start_at, b.write_end_at = 2.0, 9.0
+    assert log.slowest() is b
+    assert log.wall_clock() == pytest.approx(9.0)
+    assert not log.complete
+    log.completed_at = 9.0
+    assert log.complete
+
+
+def test_checkpoint_log_breakdown_idempotent():
+    log = CheckpointLog(round_id=1, started_at=0.0)
+    assert log.breakdown("x") is log.breakdown("x")
+
+
+def test_recovery_breakdown_totals():
+    rec = RecoveryBreakdown(
+        started_at=100.0, reload_seconds=0.3, disk_io_seconds=5.0,
+        deserialize_seconds=0.7, reconnect_seconds=0.5, completed_at=110.0,
+    )
+    assert rec.other == pytest.approx(1.0)
+    assert rec.total == pytest.approx(10.0)
+
+
+def test_events_recorded():
+    hub = MetricsHub()
+    hub.record_event(5.0, "recovery-start", "w3")
+    assert hub.events == [(5.0, "recovery-start", "w3")]

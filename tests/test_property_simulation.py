@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) for the simulation kernel."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import Environment, Store
+from repro.simulation.resources import Resource
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    """Whatever the mix of timeouts, observed firing times never go back."""
+    env = Environment()
+    observed = []
+
+    def proc(d):
+        yield env.timeout(d)
+        observed.append(env.now)
+
+    for d in delays:
+        env.process(proc(d))
+    env.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+    assert env.now == max(delays)
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=20
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_sequential_process_accumulates_delays(delays):
+    env = Environment()
+
+    def proc():
+        for d in delays:
+            yield env.timeout(d)
+        return env.now
+
+    p = env.process(proc())
+    env.run(until=p)
+    assert abs(p.value - sum(delays)) < 1e-6 * max(1.0, sum(delays))
+
+
+@given(items=st.lists(st.integers(), min_size=0, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_store_is_fifo_for_any_item_sequence(items):
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            got.append(value)
+
+    def producer():
+        for x in items:
+            yield store.put(x)
+            yield env.timeout(0.001)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == items
+
+
+@given(
+    holds=st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=12),
+    capacity=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_resource_never_exceeds_capacity(holds, capacity):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    high_water = {"n": 0}
+
+    def user(hold):
+        req = res.request()
+        yield req
+        high_water["n"] = max(high_water["n"], res.count)
+        yield env.timeout(hold)
+        res.release(req)
+
+    for h in holds:
+        env.process(user(h))
+    env.run()
+    assert high_water["n"] <= capacity
+    assert res.count == 0  # everything released
+
+
+@given(
+    priorities=st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=15)
+)
+@settings(max_examples=40, deadline=None)
+def test_resource_grants_by_priority_class(priorities):
+    """Queued requests are granted lowest-priority-value first, FIFO within
+    a class."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    blocker = res.request()  # occupy the slot so all others queue
+    granted = []
+    reqs = []
+    for i, p in enumerate(priorities):
+        req = res.request(priority=p)
+        req.callbacks.append(lambda _ev, i=i: granted.append(i))
+        reqs.append((p, i, req))
+
+    def release_all():
+        res.release(blocker)
+        for _p, _i, req in sorted(reqs, key=lambda t: (t[0], t[1])):
+            yield req
+            res.release(req)
+
+    env.process(release_all())
+    env.run()
+    expected = [i for (_p, i, _r) in sorted(reqs, key=lambda t: (t[0], t[1]))]
+    assert granted == expected
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_rng_registry_streams_are_stable(seed):
+    from repro.simulation.rng import RngRegistry
+
+    a = RngRegistry(seed).stream("component").random(5)
+    b = RngRegistry(seed).stream("component").random(5)
+    assert list(a) == list(b)
+    # a different component name gives an independent stream
+    c = RngRegistry(seed).stream("other").random(5)
+    assert list(a) != list(c)

@@ -1,0 +1,40 @@
+"""Tests for the replication cost estimator (related-work comparison)."""
+
+import pytest
+
+from repro.core import ReplicationEstimator
+
+
+def test_cost_scales_linearly_in_k():
+    est = ReplicationEstimator(hau_count=55, racks=4)
+    assert est.cost(0).nodes_required == 55
+    assert est.cost(1).nodes_required == 110
+    assert est.cost(2).nodes_required == 165
+    assert est.cost(1).extra_network_factor == 2.0
+
+
+def test_rack_survivability_needs_replica_per_rack():
+    est = ReplicationEstimator(hau_count=10, racks=3)
+    assert est.cost(2).survives_rack_failure  # 3 replicas over 3 racks
+    assert not est.cost(3).survives_rack_failure  # 4 replicas, 3 racks
+
+
+def test_checkpoint_footprint_and_break_even():
+    est = ReplicationEstimator(hau_count=55, racks=4)
+    assert est.checkpoint_footprint(8) == 63
+    assert est.break_even_k(8) == 0
+    # a giant spare pool can make 1-replication break even
+    assert ReplicationEstimator(hau_count=10).break_even_k(15) >= 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ReplicationEstimator(hau_count=0)
+    est = ReplicationEstimator(hau_count=5)
+    with pytest.raises(ValueError):
+        est.cost(-1)
+
+
+def test_overhead_vs_single():
+    est = ReplicationEstimator(hau_count=5)
+    assert est.cost(2).overhead_vs_single() == 2.0

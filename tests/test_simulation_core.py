@@ -1,0 +1,391 @@
+"""Unit tests for the discrete-event kernel (repro.simulation.core)."""
+
+import pytest
+
+from repro.simulation import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(5.0)
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 5.0
+    assert env.now == 5.0
+
+
+def test_timeout_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_run_until_time_stops_exactly():
+    env = Environment()
+    seen = []
+
+    def proc():
+        while True:
+            yield env.timeout(1.0)
+            seen.append(env.now)
+
+    env.process(proc())
+    env.run(until=3.5)
+    assert seen == [1.0, 2.0, 3.0]
+    assert env.now == 3.5
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2.0)
+        return "done"
+
+    p = env.process(proc())
+    assert env.run(until=p) == "done"
+
+
+def test_run_until_failed_event_raises():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    p = env.process(proc())
+    with pytest.raises(ValueError, match="boom"):
+        env.run(until=p)
+
+
+def test_processes_interleave_in_time_order():
+    env = Environment()
+    trace = []
+
+    def proc(name, delay):
+        yield env.timeout(delay)
+        trace.append((env.now, name))
+
+    env.process(proc("slow", 3.0))
+    env.process(proc("fast", 1.0))
+    env.process(proc("mid", 2.0))
+    env.run()
+    assert trace == [(1.0, "fast"), (2.0, "mid"), (3.0, "slow")]
+
+
+def test_simultaneous_events_fire_in_creation_order():
+    env = Environment()
+    trace = []
+
+    def proc(name):
+        yield env.timeout(1.0)
+        trace.append(name)
+
+    for name in "abcde":
+        env.process(proc(name))
+    env.run()
+    assert trace == list("abcde")
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_event_double_settle_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError())
+
+
+def test_process_receives_event_value():
+    env = Environment()
+    ev = env.event()
+    got = []
+
+    def waiter():
+        got.append((yield ev))
+
+    def firer():
+        yield env.timeout(1.0)
+        ev.succeed("payload")
+
+    env.process(waiter())
+    env.process(firer())
+    env.run()
+    assert got == ["payload"]
+
+
+def test_process_sees_failed_event_as_exception():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def firer():
+        yield env.timeout(1.0)
+        ev.fail(RuntimeError("bad"))
+
+    env.process(waiter())
+    env.process(firer())
+    env.run()
+    assert caught == ["bad"]
+
+
+def test_yield_already_triggered_event_resumes():
+    env = Environment()
+    trace = []
+
+    def proc():
+        ev = env.event()
+        ev.succeed("early")
+        got = yield ev
+        trace.append(got)
+        # also a long-settled timeout
+        t = env.timeout(0.0, value="t")
+        yield env.timeout(1.0)
+        got2 = yield t
+        trace.append(got2)
+
+    env.process(proc())
+    env.run()
+    assert trace == ["early", "t"]
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def proc():
+        yield 42
+
+    p = env.process(proc())
+    with pytest.raises(SimulationError):
+        env.run(until=p)
+
+
+def test_interrupt_while_waiting():
+    env = Environment()
+    trace = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+            trace.append("finished")
+        except Interrupt as intr:
+            trace.append(("interrupted", env.now, intr.cause))
+
+    def killer(victim):
+        yield env.timeout(3.0)
+        victim.interrupt("node-down")
+
+    victim = env.process(sleeper())
+    env.process(killer(victim))
+    env.run()
+    assert trace == [("interrupted", 3.0, "node-down")]
+
+
+def test_interrupt_finished_process_is_noop():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    p = env.process(quick())
+    env.run()
+    p.interrupt("late")  # must not raise
+    assert p.triggered
+
+
+def test_uncaught_interrupt_terminates_process_quietly():
+    env = Environment()
+
+    def sleeper():
+        yield env.timeout(100.0)
+
+    def killer(victim):
+        yield env.timeout(1.0)
+        victim.interrupt()
+
+    p = env.process(sleeper())
+    env.process(killer(p))
+    env.run()
+    assert p.triggered and p.ok
+
+
+def test_interrupted_process_does_not_wake_twice():
+    env = Environment()
+    trace = []
+
+    def sleeper():
+        try:
+            yield env.timeout(5.0)
+            trace.append("slept")
+        except Interrupt:
+            trace.append("intr")
+            yield env.timeout(10.0)
+            trace.append("after")
+
+    def killer(victim):
+        yield env.timeout(1.0)
+        victim.interrupt()
+
+    p = env.process(sleeper())
+    env.process(killer(p))
+    env.run()
+    # The original 5s timeout must not resume the process at t=5.
+    assert trace == ["intr", "after"]
+    assert env.now == 11.0
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(2.0, value="b")
+        res = yield AnyOf(env, [t1, t2])
+        return (env.now, list(res.values()))
+
+    p = env.process(proc())
+    env.run(until=p)
+    assert p.value == (1.0, ["a"])
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(2.0, value="b")
+        res = yield AllOf(env, [t1, t2])
+        return (env.now, sorted(res.values()))
+
+    p = env.process(proc())
+    env.run(until=p)
+    assert p.value == (2.0, ["a", "b"])
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def proc():
+        yield AllOf(env, [])
+        return env.now
+
+    p = env.process(proc())
+    env.run(until=p)
+    assert p.value == 0.0
+
+
+def test_condition_with_pretriggered_events():
+    env = Environment()
+
+    def proc():
+        ev = env.event()
+        ev.succeed("x")
+        res = yield AllOf(env, [ev, env.timeout(1.0, value="y")])
+        return sorted(res.values())
+
+    p = env.process(proc())
+    env.run(until=p)
+    assert p.value == ["x", "y"]
+
+
+def test_step_on_empty_schedule_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+    env2 = Environment()
+    assert env2.peek() == float("inf")
+
+
+def test_run_backwards_rejected():
+    env = Environment()
+    env.run(until=5.0)
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def test_nested_process_wait():
+    env = Environment()
+
+    def inner():
+        yield env.timeout(2.0)
+        return "inner-done"
+
+    def outer():
+        res = yield env.process(inner())
+        return (env.now, res)
+
+    p = env.process(outer())
+    env.run(until=p)
+    assert p.value == (2.0, "inner-done")
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise KeyError("k")
+
+    def outer():
+        try:
+            yield env.process(bad())
+        except KeyError:
+            return "caught"
+
+    p = env.process(outer())
+    env.run(until=p)
+    assert p.value == "caught"
+
+
+def test_determinism_same_schedule_twice():
+    def build():
+        env = Environment()
+        trace = []
+
+        def proc(name, delays):
+            for d in delays:
+                yield env.timeout(d)
+                trace.append((env.now, name))
+
+        env.process(proc("a", [1.0, 1.0, 1.0]))
+        env.process(proc("b", [0.5, 2.0]))
+        env.process(proc("c", [1.5, 1.5]))
+        env.run()
+        return trace
+
+    assert build() == build()

@@ -1,0 +1,75 @@
+"""Tests for the profiling pass (dynamic HAUs, smax/smin, relaxation)."""
+
+import pytest
+
+from repro.state import MIN_RELAXATION, StateProfile, is_dynamic
+
+
+def test_is_dynamic_classification():
+    # min < 0.5 * avg  =>  dynamic
+    assert is_dynamic([0, 100, 200, 300])  # min 0 < avg 150 / 2
+    assert not is_dynamic([100, 110, 120])  # min 100 > avg 110 / 2
+    assert not is_dynamic([])
+    assert not is_dynamic([0, 0, 0])  # zero average
+
+
+def test_profile_finds_dynamic_haus():
+    prof = StateProfile(checkpoint_period=10.0)
+    for t in range(20):
+        prof.observe("sawtooth", float(t), (t % 5) * 100.0)  # min 0
+        prof.observe("flat", float(t), 500.0)
+    assert prof.dynamic_haus() == ["sawtooth"]
+
+
+def test_aggregate_series_sums_on_union_of_times():
+    prof = StateProfile(checkpoint_period=10.0)
+    prof.observe("a", 0.0, 100.0)
+    prof.observe("a", 10.0, 200.0)
+    prof.observe("b", 5.0, 50.0)
+    agg = prof.aggregate_series(["a", "b"])
+    times = [t for (t, _s) in agg]
+    assert times == [0.0, 5.0, 10.0]
+    # at t=5: a interpolates to 150, b is 50
+    assert agg[1][1] == pytest.approx(200.0)
+
+
+def test_profile_result_smax_smin_from_period_minima():
+    prof = StateProfile(checkpoint_period=10.0)
+    # Period 1 (t 0-10): min 100 at t=5.  Period 2 (t 10-20): min 200 at t=15.
+    series = {0: 500, 5: 100, 9: 400, 10: 600, 15: 200, 19: 500}
+    for t, s in series.items():
+        prof.observe("dyn", float(t), float(s))
+        prof.observe("flat", float(t), 1000.0)  # not dynamic
+    res = prof.result()
+    assert res.dynamic_haus == ["dyn"]
+    assert res.smin == pytest.approx(100.0)
+    assert res.smax == pytest.approx(200.0)
+    assert res.relaxation == pytest.approx(1.0)  # (200-100)/100
+    assert len(res.period_minima) == 2
+
+
+def test_relaxation_factor_bounded_at_20_percent():
+    prof = StateProfile(checkpoint_period=10.0)
+    # both period minima identical -> alpha would be 0; bounded to 0.2
+    for t, s in [(0, 500), (5, 100), (9, 500), (10, 500), (15, 100), (19, 500)]:
+        prof.observe("dyn", float(t), float(s))
+    res = prof.result()
+    assert res.smin == pytest.approx(100.0)
+    assert res.smax == pytest.approx(120.0)
+    assert res.relaxation == pytest.approx(MIN_RELAXATION)
+
+
+def test_profile_empty_is_safe():
+    prof = StateProfile(checkpoint_period=10.0)
+    res = prof.result()
+    assert res.smax == 0.0
+    assert res.dynamic_haus == []
+
+
+def test_profile_no_dynamic_haus_gives_zero_threshold():
+    prof = StateProfile(checkpoint_period=10.0)
+    for t in range(10):
+        prof.observe("flat", float(t), 300.0)
+    res = prof.result()
+    assert res.dynamic_haus == []
+    assert res.smax == 0.0

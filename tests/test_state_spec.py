@@ -1,0 +1,119 @@
+"""Tests for state-size hints and the sampling estimator."""
+
+from dataclasses import dataclass
+
+from repro.state import StateHint, estimate_state_size, nominal_size
+
+
+@dataclass
+class Blob:
+    nominal_size: int = 100
+
+
+class FakeOp:
+    state_attrs = ("data", "tbl", "counter")
+    state_hints = {}
+
+    def __init__(self):
+        self.data = [Blob(100) for _ in range(10)]
+        self.tbl = {i: Blob(50) for i in range(4)}
+        self.counter = 7
+
+
+def test_nominal_size_explicit_attribute():
+    assert nominal_size(Blob(123)) == 123
+
+
+def test_nominal_size_builtin_types():
+    assert nominal_size(b"abcd") == 4
+    assert nominal_size("hello") == 5
+    assert nominal_size(3) == 8
+    assert nominal_size([Blob(10), Blob(20)]) == 30
+    assert nominal_size({"a": Blob(5)}) == 5
+
+
+def test_estimate_homogeneous_list_is_exact():
+    op = FakeOp()
+    est = estimate_state_size(op)
+    # 10*100 + 4*50 + 8 (int)
+    assert est == 1000 + 200 + 8
+
+
+def test_estimate_with_element_size_hint():
+    class Op(FakeOp):
+        state_hints = {"tbl": StateHint(element_size=1024)}
+
+    op = Op()
+    est = estimate_state_size(op)
+    assert est == 1000 + 4 * 1024 + 8
+
+
+def test_estimate_with_length_fn_hint():
+    class Custom:
+        def __init__(self):
+            self.count = 5
+            self.elem = 200
+
+    class Op:
+        state_attrs = ("idx",)
+        state_hints = {
+            "idx": StateHint(
+                length_fn=lambda v: v.count,
+                element_size_fn=lambda v: v.elem,
+            )
+        }
+
+        def __init__(self):
+            self.idx = Custom()
+
+    assert estimate_state_size(Op()) == 1000
+
+
+def test_estimate_empty_containers_zero():
+    class Op:
+        state_attrs = ("data",)
+        state_hints = {}
+
+        def __init__(self):
+            self.data = []
+
+    assert estimate_state_size(Op()) == 0
+
+
+def test_estimate_none_attribute_skipped():
+    class Op:
+        state_attrs = ("maybe",)
+        state_hints = {}
+
+        def __init__(self):
+            self.maybe = None
+
+    assert estimate_state_size(Op()) == 0
+
+
+def test_estimate_sampling_heterogeneous_within_bounds():
+    class Op:
+        state_attrs = ("data",)
+        state_hints = {}
+
+        def __init__(self):
+            # sizes ramp from 0 to 99: true total = 4950*10
+            self.data = [Blob(i * 10) for i in range(100)]
+
+    est = estimate_state_size(Op())
+    true = sum(i * 10 for i in range(100))
+    # sampled first/middle/last: (0 + 500 + 990)/3 * 100
+    assert est == int(100 * (0 + 500 + 990) / 3)
+    assert 0.5 * true < est < 1.5 * true
+
+
+def test_estimate_string_and_bytes_state():
+    class Op:
+        state_attrs = ("buf", "label")
+        state_hints = {}
+
+        def __init__(self):
+            self.buf = bytearray(256)
+            self.label = "xyz"
+
+    assert estimate_state_size(Op()) == 259
