@@ -14,7 +14,6 @@ from repro.harness.experiment import (
     DEFAULT_WARMUP,
     DEFAULT_WINDOW,
     ExperimentConfig,
-    run_experiment,
 )
 from repro.harness.figures import default_app_params
 

@@ -13,9 +13,6 @@ from repro.harness import format_table
 from repro.harness.experiment import (
     DEFAULT_WARMUP,
     DEFAULT_WINDOW,
-    ExperimentConfig,
-    make_scheme,
-    run_experiment,
 )
 from repro.harness.figures import default_app_params
 

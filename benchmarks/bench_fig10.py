@@ -6,7 +6,6 @@ the §III-C2 profiling machinery and reports the derived alert threshold
 """
 
 from repro.harness.experiment import (
-    DEFAULT_WARMUP,
     DEFAULT_WINDOW,
     ExperimentConfig,
     run_experiment,

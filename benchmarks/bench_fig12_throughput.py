@@ -7,8 +7,6 @@ above the baseline everywhere (source preservation); MS-src+ap stays
 nearly flat (asynchronous checkpointing); MS-src+ap+aa is the best.
 """
 
-from conftest import get_sweep
-
 from repro.harness import format_table
 
 PAPER_NOTES = {
@@ -18,7 +16,7 @@ PAPER_NOTES = {
 }
 
 
-def test_fig12_throughput(benchmark, sweep):
+def test_fig12_throughput(benchmark, get_sweep):
     sweep = benchmark.pedantic(get_sweep, rounds=1, iterations=1)
     for app in ("tmi", "bcp", "signalguru"):
         series = sweep.normalized_throughput(app)

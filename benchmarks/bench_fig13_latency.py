@@ -6,8 +6,6 @@ grows too; MS-src+ap grows mildly; MS-src+ap+aa stays within a few
 percent of the no-checkpoint latency.
 """
 
-from conftest import get_sweep
-
 from repro.harness import format_table
 
 PAPER_NOTES = {
@@ -17,7 +15,7 @@ PAPER_NOTES = {
 }
 
 
-def test_fig13_latency(benchmark, sweep):
+def test_fig13_latency(benchmark, get_sweep):
     sweep = benchmark.pedantic(get_sweep, rounds=1, iterations=1)
     for app in ("tmi", "bcp", "signalguru"):
         series = sweep.normalized_latency(app)

@@ -15,7 +15,7 @@ EXPERIMENTS.md, the simulated baseline degrades less steeply than the
 paper's C++ system, so combined gains land lower but ordered the same.
 """
 
-from conftest import get_sweep
+import os
 
 from repro.harness import format_table
 from repro.harness.figures import headline_numbers
@@ -30,7 +30,7 @@ PAPER = {
 }
 
 
-def test_headline_numbers(benchmark, sweep):
+def test_headline_numbers(benchmark, get_sweep, write_artifact):
     numbers = benchmark.pedantic(lambda: headline_numbers(get_sweep()), rounds=1, iterations=1)
     rows = [
         [key, f"{value:+.1%}", f"{PAPER[key]:+.1%}"]
@@ -40,6 +40,25 @@ def test_headline_numbers(benchmark, sweep):
         ["claim", "measured", "paper"], rows, title="Headline claims (3-app averages)"
     ))
 
+    # machine-readable result for CI's regression gate (see
+    # benchmarks/check_regression.py); no-op unless REPRO_ARTIFACT_DIR is set
+    sweep = get_sweep()
+    write_artifact("BENCH_headline.json", {
+        "mode": "full" if os.environ.get("REPRO_FULL") else "fast",
+        "headline": numbers,
+        "cells": [
+            {
+                "app": c.app,
+                "scheme": c.scheme,
+                "n_checkpoints": c.n_checkpoints,
+                "throughput": c.throughput,
+                "latency": c.latency,
+                "rounds_completed": c.rounds_completed,
+            }
+            for c in sweep.cells
+        ],
+    })
+
     # directions must all hold
     assert numbers["src_thpt_gain_0ckpt"] > 0.10  # source preservation helps
     assert numbers["src_lat_gain_0ckpt"] > 0.0
@@ -47,3 +66,23 @@ def test_headline_numbers(benchmark, sweep):
     assert numbers["aa_thpt_gain_3ckpt"] > -0.05
     assert numbers["total_thpt_gain_3ckpt"] > 0.15  # the full system wins
     assert numbers["total_lat_gain_3ckpt"] > 0.0
+
+
+def test_trace_artifact(write_artifact):
+    """A small traced checkpoint+failure+recovery run, exported as JSONL
+    and summary artifacts so every CI run ships an inspectable timeline."""
+    from repro.harness import ExperimentConfig, run_experiment
+
+    cfg = ExperimentConfig(
+        app="tmi", scheme="ms-src+ap", n_checkpoints=2, window=60.0, warmup=20.0,
+        workers=8, spares=12, racks=2, seed=1, enable_recovery=True,
+        app_params={"n_minutes": 0.25},
+    )
+    res = run_experiment(cfg, trace=True, failure_at=45.0)
+    summary = res.trace_summary()
+    assert summary["rounds"], "traced run should record checkpoint rounds"
+    assert summary["recoveries"], "traced run should record the global rollback"
+    print("\n" + res.trace_report())
+    path = write_artifact("TRACE_summary.json", summary)
+    if path is not None:
+        res.write_trace(os.path.join(os.path.dirname(path), "TRACE_events.jsonl"))

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""CI throughput-regression gate for the headline bench.
+
+Compares a freshly produced ``BENCH_headline.json`` (written by
+``bench_headline.py`` when ``REPRO_ARTIFACT_DIR`` is set) against the
+checked-in ``benchmarks/BENCH_baseline.json``.  The simulation is
+deterministic, so per-cell throughput should match the baseline exactly;
+the tolerance absorbs intentional model changes small enough not to
+matter.  Any cell whose throughput drops more than ``--tolerance``
+(default 15%) below the baseline fails the run.
+
+Usage::
+
+    python benchmarks/check_regression.py artifacts/BENCH_headline.json \
+        [--baseline benchmarks/BENCH_baseline.json] [--tolerance 0.15]
+
+Exit status: 0 = no regression, 1 = regression or mode mismatch,
+2 = bad invocation / unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"
+
+Cell = tuple[str, str, int]  # (app, scheme, n_checkpoints)
+
+
+def load_report(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    if "cells" not in report or "mode" not in report:
+        raise ValueError(f"{path}: not a BENCH_headline report (missing 'cells'/'mode')")
+    return report
+
+
+def cell_throughput(report: dict) -> dict[Cell, float]:
+    return {
+        (c["app"], c["scheme"], int(c["n_checkpoints"])): float(c["throughput"])
+        for c in report["cells"]
+    }
+
+
+def compare(current: dict, baseline: dict, tolerance: float) -> tuple[list[str], list[str]]:
+    """Return (regressions, notes); non-empty regressions means failure."""
+    regressions: list[str] = []
+    notes: list[str] = []
+    if current["mode"] != baseline["mode"]:
+        regressions.append(
+            f"measurement mode mismatch: current={current['mode']!r} "
+            f"baseline={baseline['mode']!r} (numbers are not comparable)"
+        )
+        return regressions, notes
+
+    cur = cell_throughput(current)
+    base = cell_throughput(baseline)
+    for key in sorted(base):
+        app, scheme, n = key
+        b = base[key]
+        if key not in cur:
+            regressions.append(f"{app}/{scheme}@{n}: cell missing from current report")
+            continue
+        c = cur[key]
+        if b <= 0:
+            notes.append(f"{app}/{scheme}@{n}: baseline throughput {b:g}, skipped")
+            continue
+        delta = c / b - 1.0
+        if delta < -tolerance:
+            regressions.append(
+                f"{app}/{scheme}@{n}: throughput {c:g} vs baseline {b:g} ({delta:+.1%})"
+            )
+        elif abs(delta) > 1e-9:
+            notes.append(f"{app}/{scheme}@{n}: {delta:+.1%}")
+    for key in sorted(set(cur) - set(base)):
+        app, scheme, n = key
+        notes.append(f"{app}/{scheme}@{n}: new cell (no baseline), throughput {cur[key]:g}")
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh BENCH_headline.json to check")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="max allowed fractional throughput drop (default 0.15)")
+    args = parser.parse_args(argv)
+
+    try:
+        current = load_report(args.current)
+        baseline = load_report(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    regressions, notes = compare(current, baseline, args.tolerance)
+    print(f"regression check: {len(cell_throughput(baseline))} baseline cells, "
+          f"tolerance {args.tolerance:.0%}")
+    for line in notes:
+        print(f"  note: {line}")
+    if regressions:
+        print(f"FAIL: {len(regressions)} regression(s)")
+        for line in regressions:
+            print(f"  regression: {line}")
+        return 1
+    print("OK: no throughput regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

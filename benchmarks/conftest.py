@@ -1,35 +1,79 @@
-"""Shared state for the benchmark suite.
+"""Shared fixtures for the benchmark suite.
 
 The Fig. 12 / Fig. 13 / headline benches all consume the same
 (expensive) scheme x checkpoint-count sweep; it is computed once per
-session and cached here.  Set ``REPRO_FULL=1`` for paper-scale windows
+session through the session-scoped ``get_sweep`` fixture (no module
+globals, so ``pytest -p no:cacheprovider`` reruns and parallel sessions
+stay independent).  Set ``REPRO_FULL=1`` for paper-scale windows
 (600 s); the default fast mode uses 150 s windows with state sizes
 scaled accordingly (see DESIGN.md).
+
+Set ``REPRO_ARTIFACT_DIR`` to a directory to make benches write their
+machine-readable results (``BENCH_*.json``) and trace artifacts there —
+this is how CI collects the smoke-bench output for the regression gate.
 """
 
+import json
 import os
 
 import pytest
 
 from repro.harness.figures import fig12_fig13_sweep
 
-_CACHE: dict = {}
-
 SWEEP_COUNTS = [0, 1, 3, 5, 8]
 SWEEP_APPS = ["tmi", "bcp", "signalguru"]
 
 
-def get_sweep():
-    if "sweep" not in _CACHE:
-        _CACHE["sweep"] = fig12_fig13_sweep(
-            apps=SWEEP_APPS, checkpoint_counts=SWEEP_COUNTS
-        )
-    return _CACHE["sweep"]
+@pytest.fixture(scope="session")
+def sweep_cache():
+    """Session-lifetime storage for the expensive sweep result."""
+    return {}
 
 
 @pytest.fixture(scope="session")
-def sweep():
+def get_sweep(sweep_cache):
+    """A compute-or-cached thunk, so the first bench to call it still
+    times the real computation under ``benchmark.pedantic``."""
+
+    def _get():
+        if "sweep" not in sweep_cache:
+            sweep_cache["sweep"] = fig12_fig13_sweep(
+                apps=SWEEP_APPS, checkpoint_counts=SWEEP_COUNTS
+            )
+        return sweep_cache["sweep"]
+
+    return _get
+
+
+@pytest.fixture(scope="session")
+def sweep(get_sweep):
     return get_sweep()
+
+
+@pytest.fixture(scope="session")
+def artifact_dir():
+    """Where to drop machine-readable bench output; None disables it."""
+    path = os.environ.get("REPRO_ARTIFACT_DIR", "")
+    if not path:
+        return None
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def write_artifact(artifact_dir):
+    """Writer for ``BENCH_*.json`` artifacts (no-op without the env var)."""
+
+    def _write(name: str, payload) -> str | None:
+        if artifact_dir is None:
+            return None
+        path = os.path.join(artifact_dir, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    return _write
 
 
 def pytest_configure(config):

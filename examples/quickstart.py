@@ -14,7 +14,7 @@ from repro.dsps import (
     RuntimeConfig,
     StreamApplication,
 )
-from repro.dsps.operator import Emit, Operator, SourceOperator
+from repro.dsps.operator import Emit, Operator
 from repro.dsps.testing import IntervalSource, VerifySink, WindowSum
 from repro.simulation import Environment
 

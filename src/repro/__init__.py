@@ -18,7 +18,9 @@ Layering (bottom-up):
 * :mod:`repro.apps` — the three evaluation applications (TMI, BCP,
   SignalGuru) with real kernels;
 * :mod:`repro.metrics`, :mod:`repro.harness` — measurement and the
-  per-figure experiment drivers.
+  per-figure experiment drivers;
+* :mod:`repro.observability` — the structured trace spine: checkpoint /
+  token / failure / recovery timelines as deterministic JSONL.
 
 Quick start::
 
@@ -44,4 +46,5 @@ __all__ = [
     "apps",
     "metrics",
     "harness",
+    "observability",
 ]

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.base import MB, AppProfile, SizedPayload
+from repro.apps.base import AppProfile, SizedPayload
 from repro.apps.kernels.svm import LinearSVM
 from repro.apps.kernels.vision import count_people, make_frame
 from repro.dsps.graph import QueryGraph

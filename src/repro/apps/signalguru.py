@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.base import MB, AppProfile, SizedPayload
+from repro.apps.base import AppProfile, SizedPayload
 from repro.apps.kernels.svm import LinearSVM
 from repro.apps.kernels.vision import color_filter, make_frame, shape_filter
 from repro.dsps.graph import QueryGraph

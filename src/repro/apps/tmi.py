@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.base import MB, AppProfile, SizedPayload
+from repro.apps.base import AppProfile, SizedPayload
 from repro.apps.kernels.kmeans import kmeans
 from repro.dsps.graph import QueryGraph
 from repro.dsps.operator import Emit, Operator, SinkOperator, SourceOperator

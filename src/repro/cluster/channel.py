@@ -15,7 +15,7 @@ the sender's NIC egress pipe so concurrent streams from one node contend.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 from repro.cluster.node import Node
 from repro.simulation.core import Environment, Event, Interrupt

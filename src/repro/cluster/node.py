@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.simulation.core import Environment, Event, Process
+from repro.simulation.core import Environment, Process
 from repro.simulation.resources import Resource
 
 # Defaults mirror the paper's EC2 setup: two 2.3 GHz cores, 1 Gbps NIC.

@@ -10,13 +10,12 @@ healthy nodes").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.cluster.channel import Channel, DEFAULT_LATENCY
 from repro.cluster.node import (
     DEFAULT_CORES,
-    DEFAULT_DISK_BW,
     DEFAULT_NIC_BW,
     Node,
 )

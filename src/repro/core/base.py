@@ -11,14 +11,14 @@ a round is executed (token cascade vs broadcast; sync vs async) and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Optional
 
 from repro.core.costs import CostModel
 from repro.core.preservation import SourcePreserver
 from repro.core.recovery import GlobalRecovery
 from repro.dsps.hau import HAURuntime
 from repro.dsps.runtime import CheckpointScheme
-from repro.dsps.tuples import DataTuple, Token
+from repro.dsps.tuples import DataTuple
 from repro.metrics.breakdown import CheckpointBreakdown, CheckpointLog
 from repro.simulation.core import Interrupt
 from repro.storage.shared import StorageClient
@@ -98,6 +98,14 @@ class MeteorShowerBase(CheckpointScheme):
 
     def next_round_id(self) -> int:
         self._round_counter += 1
+        trace = self.runtime.env.trace
+        if trace.enabled:
+            trace.emit(
+                "checkpoint.round.start",
+                t=self.runtime.env.now,
+                subject=self.name,
+                round=self._round_counter,
+            )
         return self._round_counter
 
     # -- round state ----------------------------------------------------------------
@@ -145,11 +153,30 @@ class MeteorShowerBase(CheckpointScheme):
         size = billed_size if billed_size is not None else payload["state_size"]
         bd.state_bytes = size
         bd.write_start_at = self.runtime.env.now
+        trace = self.runtime.env.trace
+        if trace.enabled:
+            trace.emit(
+                "checkpoint.write.start",
+                t=self.runtime.env.now,
+                subject=hau.hau_id,
+                round=payload["round_id"],
+                bytes=size,
+            )
         client = StorageClient(hau.node, self.runtime.storage)
         version = yield from client.write(
             CKPT_NS, hau.hau_id, payload, size=max(size, 1), bulk=True
         )
         bd.write_end_at = self.runtime.env.now
+        if trace.enabled:
+            trace.emit(
+                "checkpoint.commit",
+                t=self.runtime.env.now,
+                subject=hau.hau_id,
+                round=payload["round_id"],
+                bytes=size,
+                version=version,
+                scheme=self.name,
+            )
         self.mark_hau_done(payload["round_id"], hau.hau_id, version)
         return version
 
@@ -170,6 +197,15 @@ class MeteorShowerBase(CheckpointScheme):
             log = self.log_for(round_id)
             if log.completed_at is None:
                 log.completed_at = self.runtime.env.now
+                trace = self.runtime.env.trace
+                if trace.enabled:
+                    trace.emit(
+                        "checkpoint.round.complete",
+                        t=self.runtime.env.now,
+                        subject=self.name,
+                        round=round_id,
+                        haus=len(done),
+                    )
             self._garbage_collect(round_id)
 
     def record_source_marker(self, round_id: int, hau: HAURuntime) -> None:
@@ -217,6 +253,13 @@ class MeteorShowerBase(CheckpointScheme):
                 ]
                 if dead and not self._recovering:
                     self._recovering = True
+                    if env.trace.enabled:
+                        env.trace.emit(
+                            "failure.detected",
+                            t=env.now,
+                            subject=self.name,
+                            dead=",".join(sorted(dead)),
+                        )
                     try:
                         record = yield from self.recovery.run(dead)
                         self.recoveries.append(record)

@@ -130,6 +130,15 @@ class BaselineScheme(CheckpointScheme):
         env = self.runtime.env
         bd = CheckpointBreakdown(hau_id=hau.hau_id, round_id=counter)
         bd.command_at = bd.tokens_done_at = env.now  # no tokens to collect
+        if env.trace.enabled:
+            env.trace.emit(
+                "checkpoint.start",
+                t=env.now,
+                subject=hau.hau_id,
+                round=counter,
+                mode="sync",
+                scheme=self.name,
+            )
         hau.pause_intake()
         try:
             payload = hau.build_checkpoint_payload(counter, include_backlog=False)
@@ -139,11 +148,29 @@ class BaselineScheme(CheckpointScheme):
                 yield env.timeout(ser)
             bd.state_bytes = payload["state_size"]
             bd.write_start_at = env.now
+            if env.trace.enabled:
+                env.trace.emit(
+                    "checkpoint.write.start",
+                    t=env.now,
+                    subject=hau.hau_id,
+                    round=counter,
+                    bytes=payload["state_size"],
+                )
             client = StorageClient(hau.node, self.runtime.storage)
             version = yield from client.write(
                 CKPT_NS, hau.hau_id, payload, size=max(payload["state_size"], 1), bulk=True
             )
             bd.write_end_at = env.now
+            if env.trace.enabled:
+                env.trace.emit(
+                    "checkpoint.commit",
+                    t=env.now,
+                    subject=hau.hau_id,
+                    round=counter,
+                    bytes=payload["state_size"],
+                    version=version,
+                    scheme=self.name,
+                )
             self.checkpoint_versions[hau.hau_id] = version
             self.breakdowns.append(bd)
             # GC our own superseded checkpoints, then ack upstream: the
@@ -172,6 +199,13 @@ class BaselineScheme(CheckpointScheme):
                 )
                 if dead and not self._recovering:
                     self._recovering = True
+                    if env.trace.enabled:
+                        env.trace.emit(
+                            "failure.detected",
+                            t=env.now,
+                            subject=self.name,
+                            dead=",".join(dead),
+                        )
                     # Classify the whole sweep first: a victim whose upstream
                     # is also in the sweep has lost that upstream's retained
                     # buffer no matter the recovery order.
@@ -181,6 +215,13 @@ class BaselineScheme(CheckpointScheme):
                         ups = self.runtime.app.graph.upstream(hau_id)
                         if any(u in dead_set for u in ups):
                             self.unrecoverable.append((env.now, hau_id))
+                            if env.trace.enabled:
+                                env.trace.emit(
+                                    "baseline.unrecoverable",
+                                    t=env.now,
+                                    subject=hau_id,
+                                    cause="upstream-dead",
+                                )
                             self.runtime.metrics.record_event(
                                 env.now, "baseline-unrecoverable", hau_id
                             )
@@ -203,12 +244,23 @@ class BaselineScheme(CheckpointScheme):
         rt = self.runtime
         env = rt.env
         graph = rt.app.graph
+        if env.trace.enabled:
+            env.trace.emit(
+                "baseline.recover.start", t=env.now, subject=hau_id
+            )
         for up in graph.upstream(hau_id):
             up_store = self.preserver._stores.get(up)
             up_node_dead = not rt.haus[up].node.alive
             store_lost = up_store is not None and not up_store.node.alive
             if up_node_dead or store_lost:
                 self.unrecoverable.append((env.now, hau_id))
+                if env.trace.enabled:
+                    env.trace.emit(
+                        "baseline.unrecoverable",
+                        t=env.now,
+                        subject=hau_id,
+                        cause="retained-buffer-lost",
+                    )
                 rt.metrics.record_event(env.now, "baseline-unrecoverable", hau_id)
                 return
         spare = rt.dc.claim_spare()
@@ -237,4 +289,12 @@ class BaselineScheme(CheckpointScheme):
             if up is not None:
                 up.request_safepoint()
         self.recovered.append((env.now, hau_id))
+        if env.trace.enabled:
+            env.trace.emit(
+                "baseline.recover.done",
+                t=env.now,
+                subject=hau_id,
+                node=spare.node_id,
+                replay_edges=len(deferred),
+            )
         rt.metrics.record_event(env.now, "baseline-recovered", hau_id)

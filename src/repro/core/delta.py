@@ -25,7 +25,6 @@ The trade-off it buys and the one it costs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 
 @dataclass

@@ -23,7 +23,6 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.ms_ap import MSSrcAP
-from repro.dsps.hau import HAURuntime
 from repro.simulation.core import AnyOf, Interrupt
 from repro.simulation.resources import Store
 from repro.state.profile import ProfileResult, StateProfile
@@ -125,6 +124,14 @@ class MSSrcAPAA(MSSrcAP):
                         profile.observe(hau_id, env.now, float(hau.state_size()))
             self.profile_result = profile.result()
             self.dynamic_haus = list(self.profile_result.dynamic_haus)
+            if env.trace.enabled:
+                env.trace.emit(
+                    "aa.profile",
+                    t=env.now,
+                    subject=self.name,
+                    dynamic=",".join(sorted(self.dynamic_haus)),
+                    smax=float(self.profile_result.smax),
+                )
             for hau_id in self.dynamic_haus:
                 hau = self.runtime.haus.get(hau_id)
                 if hau is not None and hau.node.alive:
@@ -150,6 +157,15 @@ class MSSrcAPAA(MSSrcAP):
         if self.dynamic_haus and smax > 0:
             total = yield from self._query_total_size()
             alert = total < smax
+            if alert and env.trace.enabled:
+                env.trace.emit(
+                    "aa.alert.enter",
+                    t=env.now,
+                    subject=self.name,
+                    total=float(total),
+                    smax=float(smax),
+                    via="query",
+                )
         while env.now < deadline:
             if not self.dynamic_haus or smax <= 0:
                 break  # nothing to be aware of: fall through to period end
@@ -159,6 +175,16 @@ class MSSrcAPAA(MSSrcAP):
             yield env.timeout(self.costs.control_rtt / 2)  # report latency
             self._last_icr[report.hau_id] = report.icr
             self._last_size[report.hau_id] = (report.time, report.size)
+            if env.trace.enabled:
+                env.trace.emit(
+                    "aa.turning_point",
+                    t=env.now,
+                    subject=report.hau_id,
+                    at=report.time,
+                    size=float(report.size),
+                    icr=float(report.icr),
+                    turn=report.kind,
+                )
             if not alert:
                 # A more-than-half drop at a turning point triggers the
                 # controller to check the total state size *at that point*
@@ -168,12 +194,29 @@ class MSSrcAPAA(MSSrcAP):
                     self._last_max[report.hau_id] = report.size
                 elif prev_max > 0 and report.size < HALF_DROP * prev_max:
                     alert = self._known_total() < smax
+                    if alert and env.trace.enabled:
+                        env.trace.emit(
+                            "aa.alert.enter",
+                            t=env.now,
+                            subject=self.name,
+                            total=float(self._known_total()),
+                            smax=float(smax),
+                            via="half-drop",
+                        )
             if alert:
                 aggregate = sum(self._last_icr.get(h, 0.0) for h in self.dynamic_haus)
                 if aggregate > 0:
                     # "Once the controller foresees a state size increase in
                     # alert mode, it initiates a checkpoint."
                     self.decisions.append((env.now, "icr"))
+                    if env.trace.enabled:
+                        env.trace.emit(
+                            "aa.decision",
+                            t=env.now,
+                            subject=self.name,
+                            reason="icr",
+                            aggregate_icr=float(aggregate),
+                        )
                     yield from self.initiate_round()
                     return
         # "In the rare case where the total state size is never below smax
@@ -181,6 +224,10 @@ class MSSrcAPAA(MSSrcAP):
         if env.now < deadline:
             yield env.timeout(deadline - env.now)
         self.decisions.append((env.now, "deadline"))
+        if env.trace.enabled:
+            env.trace.emit(
+                "aa.decision", t=env.now, subject=self.name, reason="deadline"
+            )
         yield from self.initiate_round()
 
     def _next_report(self, deadline: float):

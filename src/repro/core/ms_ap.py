@@ -104,6 +104,16 @@ class MSSrcAP(MeteorShowerBase):
         bd = self.log_for(st.round_id).breakdown(hau.hau_id)
         bd.command_at = st.command_at or env.now
         bd.tokens_done_at = st.tokens_done_at or env.now
+        if env.trace.enabled:
+            env.trace.emit(
+                "checkpoint.start",
+                t=env.now,
+                subject=hau.hau_id,
+                round=st.round_id,
+                mode="async",
+                scheme=self.name,
+                saved_out=len(st.out_copies),
+            )
         self.record_source_marker(st.round_id, hau)
         # fork(): the parent is blocked while the child's page tables are set
         # up; the memory image is frozen (copy-on-write) at this instant.

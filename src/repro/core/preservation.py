@@ -14,7 +14,6 @@ eliminates.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.cluster.node import Node
 from repro.dsps.hau import HAURuntime

@@ -11,7 +11,6 @@ application catches up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from repro.core.costs import CostModel
 from repro.metrics.breakdown import RecoveryBreakdown
@@ -35,6 +34,14 @@ class GlobalRecovery:
         env = rt.env
         record = RecoveryBreakdown(started_at=env.now)
         cut = self.scheme.last_complete_round()
+        if env.trace.enabled:
+            env.trace.emit(
+                "recovery.start",
+                t=env.now,
+                subject=self.scheme.name,
+                dead=",".join(sorted(dead_haus)),
+                cut_round=cut[0] if cut is not None else 0,
+            )
         rt.metrics.record_event(env.now, "recovery-start", ",".join(sorted(dead_haus)))
 
         # Quiesce what is left of the application: everything rolls back.
@@ -99,6 +106,17 @@ class GlobalRecovery:
             restored[hau_id] = payload
             phase_times[hau_id] = (t1 - t0, t2 - t1, t3 - t2)
             record.bytes_read += read_bytes
+            if env.trace.enabled:
+                env.trace.emit(
+                    "recovery.hau",
+                    t=env.now,
+                    subject=hau_id,
+                    node=node.node_id,
+                    reload=t1 - t0,
+                    disk_io=t2 - t1,
+                    deserialize=t3 - t2,
+                    bytes=read_bytes,
+                )
 
         procs = [
             env.process(recover_one(hau_id), label=f"recover:{hau_id}")
@@ -118,6 +136,14 @@ class GlobalRecovery:
         for _hau_id in sorted(rt.app.graph.haus):
             yield env.timeout(self.costs.reconnect_per_hau)
         record.reconnect_seconds = env.now - reconnect_start
+        if env.trace.enabled:
+            env.trace.emit(
+                "recovery.reconnect",
+                t=env.now,
+                subject=self.scheme.name,
+                seconds=record.reconnect_seconds,
+                haus=len(rt.app.graph.haus),
+            )
         # Recovery time is the sum of the four phases (§IV-C); the source
         # replay and catch-up that follow are not part of it ("since this
         # procedure is the same with previous schemes, we do not further
@@ -137,11 +163,34 @@ class GlobalRecovery:
             if tuples:
                 node = assignments[src]
                 replay_bytes = sum(t.size for t in tuples)
+                if env.trace.enabled:
+                    env.trace.emit(
+                        "recovery.replay",
+                        t=env.now,
+                        subject=src,
+                        node=node.node_id,
+                        count=len(tuples),
+                        bytes=replay_bytes,
+                        after_seq=after_seq,
+                    )
                 yield from rt.storage.node.disk.transfer(replay_bytes)
                 yield from rt.storage.node.nic_out.transfer(replay_bytes)
                 rt.haus[src].set_replay_source(tuples)
 
         rt.restart_haus()
         record.haus_recovered = len(rt.app.graph.haus)
+        if env.trace.enabled:
+            env.trace.emit(
+                "recovery.done",
+                t=env.now,
+                subject=self.scheme.name,
+                total=record.total,
+                reload=record.reload_seconds,
+                disk_io=record.disk_io_seconds,
+                deserialize=record.deserialize_seconds,
+                reconnect=record.reconnect_seconds,
+                bytes=record.bytes_read,
+                haus=record.haus_recovered,
+            )
         rt.metrics.record_event(env.now, "recovery-done", f"{record.total:.3f}s")
         return record

@@ -10,8 +10,8 @@ optional routing mode for fan-out groups (broadcast vs key-hash, e.g.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable
 
 import networkx as nx
 

@@ -30,7 +30,7 @@ from typing import Any, Optional
 from repro.cluster.channel import Channel, ChannelClosedError
 from repro.cluster.node import Node
 from repro.dsps.graph import EdgeSpec, HAUSpec
-from repro.dsps.operator import Emit, Operator, OperatorContext, SinkOperator, SourceOperator
+from repro.dsps.operator import Emit, Operator, OperatorContext, SourceOperator
 from repro.dsps.tuples import DataTuple, Token, is_token
 from repro.simulation.core import Environment, Interrupt
 from repro.simulation.resources import Gate, Store
@@ -122,6 +122,7 @@ class HAURuntime:
         self.scheme = scheme
         self.metrics = metrics
         self.rng = rng
+        self._trace = env.trace  # cached: one attribute check per emission site
 
         self.operators: list[Operator] = spec.make_operators()
         if not self.operators:
@@ -183,6 +184,10 @@ class HAURuntime:
             self._procs.append(self.node.spawn(self._source_loop(), label=f"{self.hau_id}.src"))
         else:
             self._procs.append(self.node.spawn(self._main_loop(), label=f"{self.hau_id}.main"))
+        if self._trace.enabled:
+            self._trace.emit(
+                "hau.start", t=self.env.now, subject=self.hau_id, node=self.node.node_id
+            )
         self.scheme.on_hau_started(self)
 
     # -- classification -----------------------------------------------------------
@@ -329,6 +334,16 @@ class HAURuntime:
             chan = self.out_channels.get(edge.edge_id)
             if chan is None or chan.closed:
                 continue
+            if self._trace.enabled:
+                self._trace.emit(
+                    "token.send",
+                    t=self.env.now,
+                    subject=self.hau_id,
+                    round=token.round_id,
+                    edge=edge.edge_id,
+                    token_kind=token.kind,
+                    front=False,
+                )
             yield chan.send(token, size=token.size)
 
     def emit_token_front(self, token: Token) -> None:
@@ -339,6 +354,16 @@ class HAURuntime:
             chan = self.out_channels.get(edge.edge_id)
             if chan is None or chan.closed:
                 continue
+            if self._trace.enabled:
+                self._trace.emit(
+                    "token.send",
+                    t=self.env.now,
+                    subject=self.hau_id,
+                    round=token.round_id,
+                    edge=edge.edge_id,
+                    token_kind=token.kind,
+                    front=True,
+                )
             chan.send_front(token, size=token.size)
 
     def outbox_tuples(self) -> list[tuple[str, DataTuple]]:
@@ -386,6 +411,16 @@ class HAURuntime:
                     return
                 item = msg.payload
                 if is_token(item):
+                    if self._trace.enabled:
+                        self._trace.emit(
+                            "token.recv",
+                            t=self.env.now,
+                            subject=self.hau_id,
+                            round=item.round_id,
+                            edge_idx=edge_idx,
+                            origin=item.origin,
+                            token_kind=item.kind,
+                        )
                     self.scheme.on_token_arrival(self, edge_idx, item)
                 yield self.inbox.put((edge_idx, item))
         except Interrupt:
@@ -432,10 +467,24 @@ class HAURuntime:
         try:
             # Post-recovery: first re-send saved in-flight outputs, then
             # re-process the saved pre-token backlog.
+            if self._replay_out and self._trace.enabled:
+                self._trace.emit(
+                    "replay.out",
+                    t=self.env.now,
+                    subject=self.hau_id,
+                    count=len(self._replay_out),
+                )
             for edge_id, tup in self._replay_out:
                 yield from self.resend(edge_id, tup)
             self._replay_out = []
             backlog, self._replay_backlog = self._replay_backlog, []
+            if backlog and self._trace.enabled:
+                self._trace.emit(
+                    "replay.backlog",
+                    t=self.env.now,
+                    subject=self.hau_id,
+                    count=len(backlog),
+                )
             for edge_idx, tup in backlog:
                 yield from self._process_tuple(edge_idx, tup)
             while True:
@@ -459,6 +508,13 @@ class HAURuntime:
             # Post-recovery: first re-send the saved in-flight outputs (the
             # tuples "between the incoming tokens and the output tokens"
             # that the checkpoint carried), then replay preserved tuples.
+            if self._replay_out and self._trace.enabled:
+                self._trace.emit(
+                    "replay.out",
+                    t=self.env.now,
+                    subject=self.hau_id,
+                    count=len(self._replay_out),
+                )
             for edge_id, tup in self._replay_out:
                 yield from self.resend(edge_id, tup)
             self._replay_out = []
@@ -467,6 +523,13 @@ class HAURuntime:
             # §III).  Replayed tuples keep their original creation time and
             # are already preserved, so the preservation hook is skipped.
             replay, self._replay_source = self._replay_source, []
+            if replay and self._trace.enabled:
+                self._trace.emit(
+                    "replay.source",
+                    t=self.env.now,
+                    subject=self.hau_id,
+                    count=len(replay),
+                )
             for tup in replay:
                 yield self.intake_gate.wait()
                 op.emitted_count += 1

@@ -10,7 +10,7 @@ manager uses to restart HAUs on spare nodes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.cluster.channel import Channel
@@ -76,7 +76,7 @@ class DSPSRuntime:
         self.rngs = RngRegistry(self.config.seed)
         self.dc = DataCenter(env, self.config.cluster)
         self.storage = SharedStorage(env, self.dc.storage_node)
-        self.metrics = MetricsHub()
+        self.metrics = MetricsHub(tracer=env.trace)
 
         self.placement: dict[str, Node] = {}
         self.haus: dict[str, HAURuntime] = {}
@@ -179,6 +179,11 @@ class DSPSRuntime:
         """Controller -> HAU, fire and forget."""
         chan = self.control_down.get(hau_id)
         if chan is not None and not chan.closed:
+            if self.env.trace.enabled:
+                tag = message[0] if isinstance(message, tuple) and message else str(message)
+                self.env.trace.emit(
+                    "control.send", t=self.env.now, subject=hau_id, message=str(tag)
+                )
             chan.send(message, size=CONTROL_MSG_SIZE)
 
     def broadcast_control(self, message: Any) -> None:

@@ -9,7 +9,6 @@ failure and recovery.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.dsps.operator import Emit, Operator, SinkOperator, SourceOperator
 

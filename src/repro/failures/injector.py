@@ -10,7 +10,6 @@ given the RNG stream) so experiments can be replayed and compared.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -104,6 +103,7 @@ class FailureInjector:
             return
 
     def _inject(self, event: PlannedFailure) -> None:
+        trace = self.env.trace
         if event.kind == "node":
             try:
                 node = self.dc.node(event.target)
@@ -112,12 +112,29 @@ class FailureInjector:
             if node.alive:
                 node.fail(event.cause)
                 self.injected.append(event)
+                if trace.enabled:
+                    trace.emit(
+                        "failure.inject",
+                        t=self.env.now,
+                        subject=event.target,
+                        kind="node",
+                        cause=event.cause,
+                    )
         elif event.kind == "rack":
             for rack in self.dc.racks:
                 if rack.rack_id == event.target:
                     victims = rack.fail_all(event.cause)
                     if victims:
                         self.injected.append(event)
+                        if trace.enabled:
+                            trace.emit(
+                                "failure.inject",
+                                t=self.env.now,
+                                subject=event.target,
+                                kind="rack",
+                                cause=event.cause,
+                                victims=len(victims),
+                            )
                     break
         else:  # pragma: no cover - plan validation
             raise ValueError(f"unknown failure kind {event.kind!r}")

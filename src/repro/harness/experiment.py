@@ -25,6 +25,7 @@ from repro.core import (
 )
 from repro.core.costs import CostModel
 from repro.dsps.runtime import CheckpointScheme, DSPSRuntime, RuntimeConfig
+from repro.observability import Tracer, dumps_jsonl, render_summary, summarize, write_jsonl
 from repro.simulation.core import Environment, Interrupt
 
 FULL_SCALE = bool(int(os.environ.get("REPRO_FULL", "0")))
@@ -79,11 +80,33 @@ class ExperimentResult:
     scheme: CheckpointScheme
     runtime: DSPSRuntime
     state_trace: Optional["StateTraceRecorder"] = None
+    tracer: Optional[Tracer] = None
 
     @property
     def checkpoint_logs(self):
         getter = getattr(self.scheme, "checkpoint_logs", None)
         return getter() if getter else []
+
+    # -- structured trace access (run_experiment(..., trace=True)) ---------
+    def trace_jsonl(self) -> str:
+        """The run's trace as deterministic JSONL text."""
+        if self.tracer is None:
+            raise RuntimeError("run_experiment(..., trace=True) to record a trace")
+        return dumps_jsonl(self.tracer)
+
+    def write_trace(self, path: str) -> int:
+        if self.tracer is None:
+            raise RuntimeError("run_experiment(..., trace=True) to record a trace")
+        return write_jsonl(self.tracer, path)
+
+    def trace_summary(self) -> dict:
+        """Checkpoint timelines + recovery breakdowns folded from the trace."""
+        if self.tracer is None:
+            raise RuntimeError("run_experiment(..., trace=True) to record a trace")
+        return summarize(self.tracer)
+
+    def trace_report(self) -> str:
+        return render_summary(self.trace_summary())
 
     def binned_latency(self, start: float, end: float, bin_width: float = 2.0):
         probe = self.runtime.app.params.get("probe_prefix", "")
@@ -184,9 +207,17 @@ def run_experiment(
     trace_state: bool = False,
     failure_at: Optional[float] = None,
     failure_targets: Optional[list[str]] = None,
+    trace: bool = False,
 ) -> ExperimentResult:
-    """Build, run and measure one experiment."""
+    """Build, run and measure one experiment.
+
+    ``trace=True`` attaches a structured :class:`Tracer` to the
+    environment before the runtime is built (so every layer emits through
+    it); the result's ``tracer`` / ``trace_jsonl()`` / ``trace_summary()``
+    expose the recorded timeline.
+    """
     env = Environment()
+    tracer = env.enable_tracing() if trace else None
     builder = APPS[cfg.app]
     app = builder.build(seed=cfg.seed, **cfg.app_params)
     runtime = DSPSRuntime(
@@ -204,7 +235,7 @@ def run_experiment(
         ),
     )
     runtime.start()
-    trace = StateTraceRecorder(runtime) if trace_state else None
+    state_trace = StateTraceRecorder(runtime) if trace_state else None
 
     if failure_at is not None:
 
@@ -215,10 +246,17 @@ def run_experiment(
                 # worst case: every node hosting an HAU fails (§IV-C)
                 targets = sorted({h.node.node_id for h in runtime.haus.values()})
             for node_id in targets:
-                node = runtime.dc.node(node_id) if hasattr(runtime, "dc") else None
                 node = runtime.dc.node(node_id)
                 if node.alive:
                     node.fail("experiment")
+                    if env.trace.enabled:
+                        env.trace.emit(
+                            "failure.inject",
+                            t=env.now,
+                            subject=node_id,
+                            kind="node",
+                            cause="experiment",
+                        )
 
         env.process(killer(), label="experiment-killer")
 
@@ -233,7 +271,8 @@ def run_experiment(
         latency=latency,
         scheme=runtime.scheme,
         runtime=runtime,
-        state_trace=trace,
+        state_trace=state_trace,
+        tracer=tracer,
     )
 
 

@@ -17,7 +17,6 @@ from repro.harness.experiment import (
     DEFAULT_WARMUP,
     DEFAULT_WINDOW,
     ExperimentConfig,
-    ExperimentResult,
     find_oracle_times,
     run_experiment,
 )

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.observability.tracer import ensure_tracer
+
 
 @dataclass(frozen=True)
 class SinkSample:
@@ -27,9 +29,16 @@ class SinkSample:
 
 
 class MetricsHub:
-    """Collects sink deliveries and derives the paper's metrics."""
+    """Collects sink deliveries and derives the paper's metrics.
 
-    def __init__(self):
+    Run-level events (recovery start/done, unrecoverable HAUs, ...) ride
+    on the observability tracer: :meth:`record_event` forwards onto
+    ``tracer`` when tracing is enabled, while the legacy ``events`` list
+    is kept as a cheap always-on view for the harness and tests.
+    """
+
+    def __init__(self, tracer=None):
+        self.tracer = ensure_tracer(tracer)
         self.sink_samples: list[SinkSample] = []
         # per-stage processing records: (hau_id, created_at, processed_at).
         # Windowed applications (TMI's k-means, SignalGuru's episodes)
@@ -89,6 +98,10 @@ class MetricsHub:
 
     def record_event(self, time: float, kind: str, detail: str = "") -> None:
         self.events.append((time, kind, detail))
+        # Legacy events ride along on the trace under the "metrics." prefix
+        # (typed emissions at the call sites carry the structured form).
+        if self.tracer.enabled:
+            self.tracer.emit("metrics." + kind, t=time, subject=detail)
 
     # -- derived metrics -----------------------------------------------------------
     def throughput(self, start: float = 0.0, end: Optional[float] = None) -> int:

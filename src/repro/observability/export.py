@@ -1,0 +1,71 @@
+"""Deterministic JSONL export of a trace.
+
+One event per line, canonical form: keys sorted, compact separators,
+no NaN/Infinity, floats rendered by ``repr`` (shortest round-trip).
+Every field is simulation-derived, so two runs with the same seed
+produce *byte-identical* output — the property CI and the regression
+tests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Union
+
+from repro.observability.tracer import TraceEvent, Tracer, events_of
+
+_JSON_KW = dict(sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def event_to_json(event: TraceEvent) -> str:
+    """Canonical single-line JSON for one event."""
+    return json.dumps(event.as_dict(), **_JSON_KW)
+
+
+def dumps_jsonl(source: Union[Tracer, Iterable[TraceEvent]]) -> str:
+    """The whole trace as JSONL text (trailing newline included)."""
+    lines = [event_to_json(e) for e in events_of(source)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(source: Union[Tracer, Iterable[TraceEvent]], path: str) -> int:
+    """Write the trace to ``path``; returns the number of events."""
+    events = events_of(source)
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        for e in events:
+            fh.write(event_to_json(e))
+            fh.write("\n")
+    return len(events)
+
+
+class JsonlStreamWriter:
+    """A tracer subscriber that appends each event to an open file as it
+    is emitted — for long runs where buffering the trace is undesirable.
+
+    Usage::
+
+        tracer = env.enable_tracing()
+        with open(path, "w", encoding="utf-8", newline="\\n") as fh:
+            tracer.subscribe(JsonlStreamWriter(fh))
+            ...run...
+    """
+
+    def __init__(self, fh: IO[str]):
+        self._fh = fh
+        self.written = 0
+
+    def __call__(self, event: TraceEvent) -> None:
+        self._fh.write(event_to_json(event))
+        self._fh.write("\n")
+        self.written += 1
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Parse a trace file back into plain dicts (for tooling/tests)."""
+    out = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -1,0 +1,225 @@
+"""Trace summaries: per-run checkpoint timelines and recovery breakdowns.
+
+Consumes a :class:`~repro.observability.tracer.Tracer` (or a plain event
+list) and folds it into the structures the paper's debugging workflow
+needs: per-round checkpoint timelines (command → tokens → write →
+commit, per HAU), token-hop counts, failure/recovery timelines with the
+four recovery phases, alert-mode decisions, and replay volumes.  The
+result is a plain dict (JSON-ready) plus a text renderer for humans.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Union
+
+from repro.observability.tracer import TraceEvent, Tracer, events_of
+
+
+def summarize(source: Union[Tracer, Iterable[TraceEvent]]) -> dict[str, Any]:
+    """Fold a trace into a JSON-ready summary dict."""
+    events = events_of(source)
+    summary: dict[str, Any] = {
+        "n_events": len(events),
+        "span": [events[0].t, events[-1].t] if events else [0.0, 0.0],
+        "counts": {},
+        "rounds": [],
+        "failures": [],
+        "recoveries": [],
+        "baseline_recoveries": [],
+        "alerts": [],
+        "replays": {"out": 0, "backlog": 0, "source": 0},
+    }
+    counts: dict[str, int] = {}
+    rounds: dict[int, dict[str, Any]] = {}
+    open_recovery: dict[str, Any] = {}
+
+    def round_entry(round_id: int) -> dict[str, Any]:
+        entry = rounds.get(round_id)
+        if entry is None:
+            entry = {
+                "round_id": round_id,
+                "scheme": "",
+                "started_at": None,
+                "completed_at": None,
+                "token_sends": 0,
+                "token_recvs": 0,
+                "haus": {},
+            }
+            rounds[round_id] = entry
+        return entry
+
+    def hau_entry(round_id: int, hau_id: str) -> dict[str, Any]:
+        haus = round_entry(round_id)["haus"]
+        ent = haus.get(hau_id)
+        if ent is None:
+            ent = {
+                "start_at": None,
+                "mode": "",
+                "write_start_at": None,
+                "commit_at": None,
+                "bytes": 0,
+            }
+            haus[hau_id] = ent
+        return ent
+
+    for e in events:
+        counts[e.kind] = counts.get(e.kind, 0) + 1
+        kind = e.kind
+        if kind == "checkpoint.round.start":
+            entry = round_entry(e.get("round"))
+            entry["started_at"] = e.t
+            entry["scheme"] = e.subject
+        elif kind == "token.send":
+            round_entry(e.get("round"))["token_sends"] += 1
+        elif kind == "token.recv":
+            round_entry(e.get("round"))["token_recvs"] += 1
+        elif kind == "checkpoint.start":
+            ent = hau_entry(e.get("round"), e.subject)
+            ent["start_at"] = e.t
+            ent["mode"] = e.get("mode", "")
+        elif kind == "checkpoint.write.start":
+            hau_entry(e.get("round"), e.subject)["write_start_at"] = e.t
+        elif kind == "checkpoint.commit":
+            ent = hau_entry(e.get("round"), e.subject)
+            ent["commit_at"] = e.t
+            ent["bytes"] = e.get("bytes", 0)
+        elif kind == "checkpoint.round.complete":
+            round_entry(e.get("round"))["completed_at"] = e.t
+        elif kind in ("failure.inject", "failure.detected"):
+            summary["failures"].append(
+                {
+                    "t": e.t,
+                    "kind": kind,
+                    "target": e.subject,
+                    "detail": dict(e.data),
+                }
+            )
+        elif kind == "recovery.start":
+            open_recovery = {
+                "started_at": e.t,
+                "dead": e.get("dead", ""),
+                "haus": {},
+                "phases": {},
+                "completed_at": None,
+                "total": None,
+            }
+            summary["recoveries"].append(open_recovery)
+        elif kind == "recovery.hau" and open_recovery:
+            open_recovery["haus"][e.subject] = dict(e.data)
+        elif kind == "recovery.reconnect" and open_recovery:
+            open_recovery["phases"]["reconnect"] = e.get("seconds", 0.0)
+        elif kind == "recovery.done" and open_recovery:
+            open_recovery["completed_at"] = e.t
+            open_recovery["total"] = e.get("total", 0.0)
+            open_recovery["phases"].update(
+                {
+                    "reload": e.get("reload", 0.0),
+                    "disk_io": e.get("disk_io", 0.0),
+                    "deserialize": e.get("deserialize", 0.0),
+                    "reconnect": e.get("reconnect", 0.0),
+                }
+            )
+        elif kind.startswith("baseline.recover") or kind == "baseline.unrecoverable":
+            summary["baseline_recoveries"].append(
+                {"t": e.t, "kind": kind, "hau": e.subject}
+            )
+        elif kind in ("aa.alert.enter", "aa.decision", "aa.profile"):
+            summary["alerts"].append(
+                {"t": e.t, "kind": kind, "detail": dict(e.data)}
+            )
+        elif kind == "replay.out":
+            summary["replays"]["out"] += e.get("count", 0)
+        elif kind == "replay.backlog":
+            summary["replays"]["backlog"] += e.get("count", 0)
+        elif kind == "replay.source":
+            summary["replays"]["source"] += e.get("count", 0)
+
+    summary["counts"] = dict(sorted(counts.items()))
+    for rid in sorted(rounds):
+        entry = rounds[rid]
+        entry["haus"] = {h: entry["haus"][h] for h in sorted(entry["haus"])}
+        commits = [
+            ent["commit_at"]
+            for ent in entry["haus"].values()
+            if ent["commit_at"] is not None
+        ]
+        if entry["started_at"] is not None and commits:
+            entry["wall_clock"] = max(commits) - entry["started_at"]
+        summary["rounds"].append(entry)
+    return summary
+
+
+def render_summary(summary: dict[str, Any]) -> str:
+    """Human-readable report of a trace summary."""
+    lines: list[str] = []
+    t0, t1 = summary["span"]
+    lines.append(
+        f"trace: {summary['n_events']} events over sim [{t0:.3f}s, {t1:.3f}s]"
+    )
+    lines.append("event counts:")
+    for kind, n in summary["counts"].items():
+        lines.append(f"  {kind:<28} {n}")
+    if summary["rounds"]:
+        lines.append("checkpoint rounds:")
+        for entry in summary["rounds"]:
+            rid = entry["round_id"]
+            status = "complete" if entry["completed_at"] is not None else "incomplete"
+            wall = entry.get("wall_clock")
+            wall_s = f" wall={wall:.3f}s" if wall is not None else ""
+            lines.append(
+                f"  round {rid} [{entry['scheme']}] {status}: "
+                f"{len(entry['haus'])} HAUs, "
+                f"{entry['token_sends']} token sends, "
+                f"{entry['token_recvs']} token recvs{wall_s}"
+            )
+            for hau_id, ent in entry["haus"].items():
+                if ent["commit_at"] is None:
+                    lines.append(f"    {hau_id:<12} (no commit)")
+                    continue
+                start = ent["start_at"] if ent["start_at"] is not None else ent["commit_at"]
+                lines.append(
+                    f"    {hau_id:<12} {ent['mode'] or '-':<5} "
+                    f"start={start:.3f}s commit={ent['commit_at']:.3f}s "
+                    f"bytes={ent['bytes']}"
+                )
+    if summary["failures"]:
+        lines.append("failures:")
+        for f in summary["failures"]:
+            lines.append(f"  t={f['t']:.3f}s {f['kind']} target={f['target']}")
+    if summary["recoveries"]:
+        lines.append("recoveries (global rollback):")
+        for r in summary["recoveries"]:
+            total = r["total"]
+            total_s = f"{total:.3f}s" if total is not None else "in flight"
+            lines.append(
+                f"  started t={r['started_at']:.3f}s dead=[{r['dead']}] total={total_s}"
+            )
+            if r["phases"]:
+                phases = ", ".join(
+                    f"{k}={v:.3f}s" for k, v in sorted(r["phases"].items())
+                )
+                lines.append(f"    phases: {phases}")
+    if summary["baseline_recoveries"]:
+        lines.append("baseline (1-safe) recoveries:")
+        for r in summary["baseline_recoveries"]:
+            lines.append(f"  t={r['t']:.3f}s {r['kind']} hau={r['hau']}")
+    if summary["alerts"]:
+        lines.append("application-aware decisions:")
+        for a in summary["alerts"]:
+            lines.append(f"  t={a['t']:.3f}s {a['kind']} {a['detail']}")
+    replays = summary["replays"]
+    if any(replays.values()):
+        lines.append(
+            "replays: "
+            f"out={replays['out']} backlog={replays['backlog']} "
+            f"source={replays['source']}"
+        )
+    return "\n".join(lines)
+
+
+def write_summary(summary: dict[str, Any], path: str) -> None:
+    """Write a summary dict as deterministic JSON."""
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        json.dump(summary, fh, sort_keys=True, indent=2, allow_nan=False)
+        fh.write("\n")

@@ -13,6 +13,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.observability.tracer import NULL_TRACER, Tracer
+
 # Event scheduling priorities.  URGENT is used internally for process
 # resumption bookkeeping so that, at a given instant, state mutations
 # settle before ordinary events fire.
@@ -290,6 +292,16 @@ class Environment:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        # Structured tracing (repro.observability): the no-op default means
+        # instrumented hot paths pay one attribute check per emission site.
+        self.trace = NULL_TRACER
+
+    def enable_tracing(self, tracer: Optional[Tracer] = None) -> Tracer:
+        """Attach a :class:`~repro.observability.tracer.Tracer` (a fresh
+        one unless given) and return it.  All instrumented layers emit
+        through ``env.trace`` from then on."""
+        self.trace = tracer if tracer is not None else Tracer()
+        return self.trace
 
     @property
     def now(self) -> float:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Callable, Optional
+from typing import Any
 
 from repro.simulation.core import Environment, Event, SimulationError
 

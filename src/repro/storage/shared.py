@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.cluster.node import Node, NodeDownError
+from repro.cluster.node import Node
 from repro.simulation.core import Environment
 
 REQUEST_SIZE = 512  # bytes: a read/write RPC header

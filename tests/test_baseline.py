@@ -1,7 +1,6 @@
 """Tests for the baseline: input preservation, independent checkpoints,
 1-safe recovery, and its failure under correlated faults."""
 
-import pytest
 
 from repro.cluster import ClusterSpec
 from repro.core import BaselineScheme

@@ -10,7 +10,7 @@ from repro.cluster import (
     Node,
     NodeDownError,
 )
-from repro.cluster.node import BandwidthPipe, GBPS
+from repro.cluster.node import BandwidthPipe
 from repro.simulation import Environment, SimulationError
 
 
@@ -204,7 +204,7 @@ def test_channel_sender_nic_contention():
     times = {}
 
     def receiver(chan, name):
-        msg = yield chan.recv()
+        yield chan.recv()
         times[name] = env.now
 
     ab.send("x", size=1000)

@@ -132,11 +132,6 @@ def test_delta_recovery_reads_whole_chain_and_is_exact():
     assert scheme.recoveries
     assert failed_log == clean_log  # exactly-once holds under deltas
     # the recovery read the full + delta chain, not just one object
-    rec = scheme.recoveries[0]
-    plan = scheme.recovery_read_plan(
-        "agg", *dict([("cut_round", scheme.last_complete_round()[0])]).values(),
-        cut_version=scheme.last_complete_round()[1]["agg"],
-    ) if False else None
     cut = scheme.last_complete_round()
     chain = scheme.recovery_read_plan("agg", cut_round=cut[0], cut_version=cut[1]["agg"])
     assert len(chain) >= 1

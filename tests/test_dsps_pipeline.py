@@ -1,6 +1,5 @@
 """End-to-end DSPS pipeline tests with a no-op scheme (no checkpointing)."""
 
-import pytest
 
 from repro.cluster import ClusterSpec
 from repro.dsps import (

@@ -1,9 +1,8 @@
 """Tests for MS-src+ap+aa: profiling, alert mode, ICR-triggered rounds."""
 
-import pytest
 
 from repro.cluster import ClusterSpec
-from repro.core import MSSrcAP, MSSrcAPAA
+from repro.core import MSSrcAPAA
 from repro.dsps import DSPSRuntime, RuntimeConfig, StreamApplication
 from repro.dsps.testing import make_chain_graph
 from repro.simulation import Environment

@@ -1,6 +1,5 @@
 """Tests for MS-src: token cascade, sync checkpoints, global recovery."""
 
-import pytest
 
 from repro.cluster import ClusterSpec
 from repro.core import MSSrc

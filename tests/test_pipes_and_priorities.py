@@ -3,7 +3,7 @@ aa controller's size reconstruction."""
 
 import pytest
 
-from repro.cluster.node import BandwidthPipe, Node
+from repro.cluster.node import BandwidthPipe
 from repro.simulation import Environment
 
 

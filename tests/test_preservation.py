@@ -1,15 +1,13 @@
 """Unit tests for the preservation disciplines (repro.core.preservation)."""
 
-import pytest
 
-from repro.cluster import ClusterSpec, DataCenter
+from repro.cluster import ClusterSpec
 from repro.core.preservation import InputPreserver, SourcePreserver
 from repro.dsps import QueryGraph, RuntimeConfig, StreamApplication, DSPSRuntime
 from repro.dsps import CheckpointScheme
 from repro.dsps.testing import IntervalSource, VerifySink
 from repro.dsps.tuples import DataTuple
 from repro.simulation import Environment
-from repro.storage import SharedStorage
 
 
 def make_runtime():

@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) for the simulation kernel."""
 
-import heapq
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -3,7 +3,6 @@
 Each test encodes the failure mode so it can never silently return.
 """
 
-import pytest
 
 from repro.cluster import ClusterSpec
 from repro.core import MSSrcAP
