@@ -53,6 +53,9 @@ def test_headline_numbers(benchmark, get_sweep, write_artifact):
                 "n_checkpoints": c.n_checkpoints,
                 "throughput": c.throughput,
                 "latency": c.latency,
+                "latency_p50": c.latency_p50,
+                "latency_p95": c.latency_p95,
+                "latency_p99": c.latency_p99,
                 "rounds_completed": c.rounds_completed,
             }
             for c in sweep.cells
@@ -86,3 +89,27 @@ def test_trace_artifact(write_artifact):
     path = write_artifact("TRACE_summary.json", summary)
     if path is not None:
         res.write_trace(os.path.join(os.path.dirname(path), "TRACE_events.jsonl"))
+
+
+def test_telemetry_artifact(write_artifact):
+    """A small telemetry-enabled run, exported as the deterministic JSON
+    snapshot artifact (the metrics counterpart of the trace artifact)."""
+    from repro.harness import ExperimentConfig, run_experiment
+
+    cfg = ExperimentConfig(
+        app="tmi", scheme="ms-src+ap", n_checkpoints=2, window=60.0, warmup=20.0,
+        workers=8, spares=12, racks=2, seed=1,
+        app_params={"n_minutes": 0.25},
+    )
+    res = run_experiment(cfg, telemetry=True)
+    snap = res.telemetry_snapshot()
+    assert snap["metrics"], "telemetry run should register metrics"
+    names = {m["name"] for m in snap["metrics"]}
+    assert "ms_hau_tuples_total" in names
+    assert "ms_checkpoint_write_seconds" in names
+    assert any(snap["series"].values()), "sampler should record per-HAU series"
+    path = write_artifact("TELEMETRY_snapshot.json", snap)
+    if path is not None:
+        # canonical re-write: the artifact is byte-stable across same-seed
+        # runs (sort_keys + repr floats), unlike write_artifact's default
+        res.write_telemetry(path)

@@ -1,21 +1,31 @@
 #!/usr/bin/env python3
-"""CI throughput-regression gate for the headline bench.
+"""CI throughput/latency regression gate for the headline bench.
 
 Compares a freshly produced ``BENCH_headline.json`` (written by
 ``bench_headline.py`` when ``REPRO_ARTIFACT_DIR`` is set) against the
 checked-in ``benchmarks/BENCH_baseline.json``.  The simulation is
-deterministic, so per-cell throughput should match the baseline exactly;
-the tolerance absorbs intentional model changes small enough not to
-matter.  Any cell whose throughput drops more than ``--tolerance``
-(default 15%) below the baseline fails the run.
+deterministic, so per-cell numbers should match the baseline exactly;
+the tolerances absorb intentional model changes small enough not to
+matter.
+
+Two gates, each per cell:
+
+* **throughput** — drops more than ``--tolerance`` (default 15%) below
+  the baseline fail;
+* **latency** — increases more than ``--latency-tolerance`` (default
+  15%) above the baseline fail.  Baseline cells without a ``latency``
+  value are noted and skipped, so the gate is backward compatible with
+  throughput-only baselines.
 
 Usage::
 
     python benchmarks/check_regression.py artifacts/BENCH_headline.json \
-        [--baseline benchmarks/BENCH_baseline.json] [--tolerance 0.15]
+        [--baseline benchmarks/BENCH_baseline.json] [--tolerance 0.15] \
+        [--latency-tolerance 0.15]
 
-Exit status: 0 = no regression, 1 = regression or mode mismatch,
-2 = bad invocation / unreadable input.
+Exit status: 0 = no regression, 1 = throughput regression or mode
+mismatch, 2 = bad invocation / unreadable input, 3 = latency-only
+regression (throughput held; CI can choose to warn instead of fail).
 """
 
 from __future__ import annotations
@@ -29,6 +39,11 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"
 
 Cell = tuple[str, str, int]  # (app, scheme, n_checkpoints)
 
+EXIT_OK = 0
+EXIT_THROUGHPUT = 1
+EXIT_BAD_INVOCATION = 2
+EXIT_LATENCY = 3
+
 
 def load_report(path: str) -> dict:
     with open(path, encoding="utf-8") as fh:
@@ -38,26 +53,44 @@ def load_report(path: str) -> dict:
     return report
 
 
+def cell_values(report: dict, field: str) -> dict[Cell, float]:
+    """Per-cell values of one field; cells lacking the field are omitted."""
+    out: dict[Cell, float] = {}
+    for c in report["cells"]:
+        if field in c:
+            out[(c["app"], c["scheme"], int(c["n_checkpoints"]))] = float(c[field])
+    return out
+
+
 def cell_throughput(report: dict) -> dict[Cell, float]:
-    return {
-        (c["app"], c["scheme"], int(c["n_checkpoints"])): float(c["throughput"])
-        for c in report["cells"]
-    }
+    return cell_values(report, "throughput")
 
 
-def compare(current: dict, baseline: dict, tolerance: float) -> tuple[list[str], list[str]]:
-    """Return (regressions, notes); non-empty regressions means failure."""
+def compare(
+    current: dict,
+    baseline: dict,
+    tolerance: float,
+    latency_tolerance: float = 0.15,
+) -> tuple[list[str], list[str], list[str]]:
+    """Return (throughput_regressions, latency_regressions, notes).
+
+    Non-empty throughput regressions mean exit 1; latency regressions
+    alone mean exit 3.
+    """
     regressions: list[str] = []
+    lat_regressions: list[str] = []
     notes: list[str] = []
     if current["mode"] != baseline["mode"]:
         regressions.append(
             f"measurement mode mismatch: current={current['mode']!r} "
             f"baseline={baseline['mode']!r} (numbers are not comparable)"
         )
-        return regressions, notes
+        return regressions, lat_regressions, notes
 
     cur = cell_throughput(current)
     base = cell_throughput(baseline)
+    cur_lat = cell_values(current, "latency")
+    base_lat = cell_values(baseline, "latency")
     for key in sorted(base):
         app, scheme, n = key
         b = base[key]
@@ -75,10 +108,31 @@ def compare(current: dict, baseline: dict, tolerance: float) -> tuple[list[str],
             )
         elif abs(delta) > 1e-9:
             notes.append(f"{app}/{scheme}@{n}: {delta:+.1%}")
+        # latency gate (higher is worse)
+        bl = base_lat.get(key)
+        if bl is None:
+            notes.append(f"{app}/{scheme}@{n}: baseline has no latency, gate skipped")
+            continue
+        if bl <= 0:
+            notes.append(f"{app}/{scheme}@{n}: baseline latency {bl:g}, gate skipped")
+            continue
+        cl = cur_lat.get(key)
+        if cl is None:
+            lat_regressions.append(
+                f"{app}/{scheme}@{n}: latency missing from current report"
+            )
+            continue
+        lat_delta = cl / bl - 1.0
+        if lat_delta > latency_tolerance:
+            lat_regressions.append(
+                f"{app}/{scheme}@{n}: latency {cl:g} vs baseline {bl:g} ({lat_delta:+.1%})"
+            )
+        elif abs(lat_delta) > 1e-9:
+            notes.append(f"{app}/{scheme}@{n}: latency {lat_delta:+.1%}")
     for key in sorted(set(cur) - set(base)):
         app, scheme, n = key
         notes.append(f"{app}/{scheme}@{n}: new cell (no baseline), throughput {cur[key]:g}")
-    return regressions, notes
+    return regressions, lat_regressions, notes
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -87,6 +141,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="max allowed fractional throughput drop (default 0.15)")
+    parser.add_argument("--latency-tolerance", type=float, default=0.15,
+                        help="max allowed fractional latency increase (default 0.15)")
     args = parser.parse_args(argv)
 
     try:
@@ -94,20 +150,30 @@ def main(argv: list[str] | None = None) -> int:
         baseline = load_report(args.baseline)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_BAD_INVOCATION
 
-    regressions, notes = compare(current, baseline, args.tolerance)
+    regressions, lat_regressions, notes = compare(
+        current, baseline, args.tolerance, args.latency_tolerance
+    )
     print(f"regression check: {len(cell_throughput(baseline))} baseline cells, "
-          f"tolerance {args.tolerance:.0%}")
+          f"throughput tolerance {args.tolerance:.0%}, "
+          f"latency tolerance {args.latency_tolerance:.0%}")
     for line in notes:
         print(f"  note: {line}")
     if regressions:
-        print(f"FAIL: {len(regressions)} regression(s)")
+        print(f"FAIL: {len(regressions)} throughput regression(s)")
         for line in regressions:
             print(f"  regression: {line}")
-        return 1
-    print("OK: no throughput regression")
-    return 0
+        for line in lat_regressions:
+            print(f"  latency regression: {line}")
+        return EXIT_THROUGHPUT
+    if lat_regressions:
+        print(f"FAIL (latency): {len(lat_regressions)} latency regression(s)")
+        for line in lat_regressions:
+            print(f"  latency regression: {line}")
+        return EXIT_LATENCY
+    print("OK: no throughput or latency regression")
+    return EXIT_OK
 
 
 if __name__ == "__main__":

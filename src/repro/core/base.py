@@ -98,14 +98,16 @@ class MeteorShowerBase(CheckpointScheme):
 
     def next_round_id(self) -> int:
         self._round_counter += 1
-        trace = self.runtime.env.trace
-        if trace.enabled:
-            trace.emit(
+        env = self.runtime.env
+        if env.trace.enabled:
+            env.trace.emit(
                 "checkpoint.round.start",
-                t=self.runtime.env.now,
+                t=env.now,
                 subject=self.name,
                 round=self._round_counter,
             )
+        if env.telemetry.enabled:
+            env.telemetry.counter("ms_checkpoint_rounds_total", scheme=self.name).inc()
         return self._round_counter
 
     # -- round state ----------------------------------------------------------------
@@ -167,6 +169,15 @@ class MeteorShowerBase(CheckpointScheme):
             CKPT_NS, hau.hau_id, payload, size=max(size, 1), bulk=True
         )
         bd.write_end_at = self.runtime.env.now
+        telem = self.runtime.env.telemetry
+        if telem.enabled:
+            telem.histogram(
+                "ms_checkpoint_write_seconds", scheme=self.name
+            ).observe(bd.write_end_at - bd.write_start_at)
+            telem.counter("ms_checkpoint_bytes_total", scheme=self.name).inc(size)
+            telem.gauge("ms_hau_ckpt_write_seconds", hau=hau.hau_id).set(
+                bd.write_end_at - bd.write_start_at
+            )
         if trace.enabled:
             trace.emit(
                 "checkpoint.commit",
@@ -197,15 +208,19 @@ class MeteorShowerBase(CheckpointScheme):
             log = self.log_for(round_id)
             if log.completed_at is None:
                 log.completed_at = self.runtime.env.now
-                trace = self.runtime.env.trace
-                if trace.enabled:
-                    trace.emit(
+                env = self.runtime.env
+                if env.trace.enabled:
+                    env.trace.emit(
                         "checkpoint.round.complete",
-                        t=self.runtime.env.now,
+                        t=env.now,
                         subject=self.name,
                         round=round_id,
                         haus=len(done),
                     )
+                if env.telemetry.enabled:
+                    env.telemetry.counter(
+                        "ms_checkpoint_rounds_completed_total", scheme=self.name
+                    ).inc()
             self._garbage_collect(round_id)
 
     def record_source_marker(self, round_id: int, hau: HAURuntime) -> None:
@@ -263,6 +278,13 @@ class MeteorShowerBase(CheckpointScheme):
                     try:
                         record = yield from self.recovery.run(dead)
                         self.recoveries.append(record)
+                        if env.telemetry.enabled:
+                            env.telemetry.counter(
+                                "ms_recoveries_total", scheme=self.name
+                            ).inc()
+                            env.telemetry.histogram(
+                                "ms_recovery_seconds", scheme=self.name
+                            ).observe(record.total)
                     except Exception as exc:
                         # Surface the failure instead of silently killing
                         # the watcher: the experiment can inspect events.

@@ -161,6 +161,16 @@ class BaselineScheme(CheckpointScheme):
                 CKPT_NS, hau.hau_id, payload, size=max(payload["state_size"], 1), bulk=True
             )
             bd.write_end_at = env.now
+            if env.telemetry.enabled:
+                env.telemetry.histogram(
+                    "ms_checkpoint_write_seconds", scheme=self.name
+                ).observe(bd.write_end_at - bd.write_start_at)
+                env.telemetry.counter(
+                    "ms_checkpoint_bytes_total", scheme=self.name
+                ).inc(payload["state_size"])
+                env.telemetry.gauge(
+                    "ms_hau_ckpt_write_seconds", hau=hau.hau_id
+                ).set(bd.write_end_at - bd.write_start_at)
             if env.trace.enabled:
                 env.trace.emit(
                     "checkpoint.commit",
@@ -225,6 +235,11 @@ class BaselineScheme(CheckpointScheme):
                             self.runtime.metrics.record_event(
                                 env.now, "baseline-unrecoverable", hau_id
                             )
+                            if env.telemetry.enabled:
+                                env.telemetry.counter(
+                                    "ms_baseline_unrecoverable_total",
+                                    cause="upstream-dead",
+                                ).inc()
                         else:
                             recoverable.append(hau_id)
                     for hau_id in recoverable:
@@ -262,6 +277,11 @@ class BaselineScheme(CheckpointScheme):
                         cause="retained-buffer-lost",
                     )
                 rt.metrics.record_event(env.now, "baseline-unrecoverable", hau_id)
+                if env.telemetry.enabled:
+                    env.telemetry.counter(
+                        "ms_baseline_unrecoverable_total",
+                        cause="retained-buffer-lost",
+                    ).inc()
                 return
         spare = rt.dc.claim_spare()
         yield env.timeout(self.costs.reload_seconds)
@@ -298,3 +318,5 @@ class BaselineScheme(CheckpointScheme):
                 replay_edges=len(deferred),
             )
         rt.metrics.record_event(env.now, "baseline-recovered", hau_id)
+        if env.telemetry.enabled:
+            env.telemetry.counter("ms_baseline_recovered_total").inc()

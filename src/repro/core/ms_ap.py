@@ -119,11 +119,20 @@ class MSSrcAP(MeteorShowerBase):
         # up; the memory image is frozen (copy-on-write) at this instant.
         fork = self.costs.fork_time(hau.state_size())
         bd.fork_seconds = fork
+        if env.telemetry.enabled:
+            env.telemetry.histogram("ms_fork_seconds", scheme=self.name).observe(fork)
+            env.telemetry.counter(
+                "ms_async_checkpoints_total", scheme=self.name
+            ).inc()
         yield env.timeout(fork)
         payload = hau.build_checkpoint_payload(st.round_id, extra_out=st.out_copies)
         # Tokens in the input buffers "are erased immediately" and held-back
         # tuples flow again; the parent has returned to normal execution.
         drained = hau.unblock_all_edges()
+        if drained and env.telemetry.enabled:
+            env.telemetry.counter(
+                "ms_holdback_drained_total", hau=hau.hau_id
+            ).inc(len(drained))
         self._cow_active[hau.hau_id] = self._cow_active.get(hau.hau_id, 0) + 1
         hau.node.spawn(
             self._child_writer(hau, payload, bd), label=f"{hau.hau_id}.ckpt{st.round_id}"

@@ -123,6 +123,21 @@ class HAURuntime:
         self.metrics = metrics
         self.rng = rng
         self._trace = env.trace  # cached: one attribute check per emission site
+        # Telemetry handles are resolved once here (the registry is
+        # get-or-create, so caching is purely a hot-loop optimisation);
+        # with telemetry off these are the shared no-op metric.
+        self._telem = env.telemetry
+        self._m_tuples = self._telem.counter("ms_hau_tuples_total", hau=spec.hau_id)
+        self._m_busy = self._telem.counter("ms_hau_busy_seconds_total", hau=spec.hau_id)
+        self._m_latency = self._telem.histogram(
+            "ms_hau_tuple_latency_seconds", hau=spec.hau_id
+        )
+        self._m_tokens_sent = self._telem.counter(
+            "ms_hau_tokens_sent_total", hau=spec.hau_id
+        )
+        self._m_tokens_recv = self._telem.counter(
+            "ms_hau_tokens_received_total", hau=spec.hau_id
+        )
 
         self.operators: list[Operator] = spec.make_operators()
         if not self.operators:
@@ -344,6 +359,8 @@ class HAURuntime:
                     token_kind=token.kind,
                     front=False,
                 )
+            if self._telem.enabled:
+                self._m_tokens_sent.inc()
             yield chan.send(token, size=token.size)
 
     def emit_token_front(self, token: Token) -> None:
@@ -364,6 +381,8 @@ class HAURuntime:
                     token_kind=token.kind,
                     front=True,
                 )
+            if self._telem.enabled:
+                self._m_tokens_sent.inc()
             chan.send_front(token, size=token.size)
 
     def outbox_tuples(self) -> list[tuple[str, DataTuple]]:
@@ -421,6 +440,8 @@ class HAURuntime:
                             origin=item.origin,
                             token_kind=item.kind,
                         )
+                    if self._telem.enabled:
+                        self._m_tokens_recv.inc()
                     self.scheme.on_token_arrival(self, edge_idx, item)
                 yield self.inbox.put((edge_idx, item))
         except Interrupt:
@@ -456,6 +477,10 @@ class HAURuntime:
             yield self.env.timeout(cost)
         self.busy_time += cost
         self.tuples_processed += 1
+        if self._telem.enabled:
+            self._m_tuples.inc()
+            self._m_busy.inc(cost)
+            self._m_latency.observe(self.env.now - tup.created_at)
         if self.metrics is not None:
             self.metrics.record_stage(self.hau_id, tup.created_at, self.env.now)
             if self.is_sink:

@@ -56,6 +56,10 @@ class CheckpointScheme(SchemeHooks):
         """HAU -> controller message (fire and forget)."""
         chan = self.runtime.control_up.get(hau.hau_id) if self.runtime else None
         if chan is not None and not chan.closed:
+            if hau.env.telemetry.enabled:
+                hau.env.telemetry.counter(
+                    "ms_control_messages_total", direction="up"
+                ).inc()
             chan.send(message, size=CONTROL_MSG_SIZE)
 
 
@@ -184,6 +188,10 @@ class DSPSRuntime:
                 self.env.trace.emit(
                     "control.send", t=self.env.now, subject=hau_id, message=str(tag)
                 )
+            if self.env.telemetry.enabled:
+                self.env.telemetry.counter(
+                    "ms_control_messages_total", direction="down"
+                ).inc()
             chan.send(message, size=CONTROL_MSG_SIZE)
 
     def broadcast_control(self, message: Any) -> None:

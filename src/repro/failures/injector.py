@@ -112,6 +112,10 @@ class FailureInjector:
             if node.alive:
                 node.fail(event.cause)
                 self.injected.append(event)
+                if self.env.telemetry.enabled:
+                    self.env.telemetry.counter(
+                        "ms_failures_injected_total", kind="node"
+                    ).inc()
                 if trace.enabled:
                     trace.emit(
                         "failure.inject",
@@ -126,6 +130,10 @@ class FailureInjector:
                     victims = rack.fail_all(event.cause)
                     if victims:
                         self.injected.append(event)
+                        if self.env.telemetry.enabled:
+                            self.env.telemetry.counter(
+                                "ms_failures_injected_total", kind="rack"
+                            ).inc()
                         if trace.enabled:
                             trace.emit(
                                 "failure.inject",

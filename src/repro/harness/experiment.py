@@ -27,6 +27,13 @@ from repro.core.costs import CostModel
 from repro.dsps.runtime import CheckpointScheme, DSPSRuntime, RuntimeConfig
 from repro.observability import Tracer, dumps_jsonl, render_summary, summarize, write_jsonl
 from repro.simulation.core import Environment, Interrupt
+from repro.telemetry import (
+    MetricRegistry,
+    Sampler,
+    dumps_snapshot,
+    snapshot,
+    write_snapshot,
+)
 
 FULL_SCALE = bool(int(os.environ.get("REPRO_FULL", "0")))
 DEFAULT_WINDOW = 600.0 if FULL_SCALE else 150.0
@@ -81,6 +88,9 @@ class ExperimentResult:
     runtime: DSPSRuntime
     state_trace: Optional["StateTraceRecorder"] = None
     tracer: Optional[Tracer] = None
+    telemetry: Optional[MetricRegistry] = None
+    telemetry_sampler: Optional[Sampler] = None
+    latency_percentiles: dict[str, float] = field(default_factory=dict)
 
     @property
     def checkpoint_logs(self):
@@ -111,6 +121,26 @@ class ExperimentResult:
     def binned_latency(self, start: float, end: float, bin_width: float = 2.0):
         probe = self.runtime.app.params.get("probe_prefix", "")
         return self.runtime.metrics.stage_binned_latency(probe, start, end, bin_width)
+
+    # -- telemetry access (run_experiment(..., telemetry=True)) ------------
+    def telemetry_snapshot(self) -> dict:
+        """Registry + sampler series as a JSON-ready (deterministic) dict."""
+        if self.telemetry is None:
+            raise RuntimeError(
+                "run_experiment(..., telemetry=True) to record telemetry"
+            )
+        meta = {
+            "app": self.config.app,
+            "scheme": self.config.scheme,
+            "seed": self.config.seed,
+        }
+        return snapshot(self.telemetry, sampler=self.telemetry_sampler, meta=meta)
+
+    def telemetry_json(self) -> str:
+        return dumps_snapshot(self.telemetry_snapshot())
+
+    def write_telemetry(self, path: str) -> None:
+        write_snapshot(self.telemetry_snapshot(), path)
 
 
 def make_scheme(cfg: ExperimentConfig) -> CheckpointScheme:
@@ -208,6 +238,8 @@ def run_experiment(
     failure_at: Optional[float] = None,
     failure_targets: Optional[list[str]] = None,
     trace: bool = False,
+    telemetry: bool = False,
+    telemetry_interval: float = 1.0,
 ) -> ExperimentResult:
     """Build, run and measure one experiment.
 
@@ -215,9 +247,16 @@ def run_experiment(
     environment before the runtime is built (so every layer emits through
     it); the result's ``tracer`` / ``trace_jsonl()`` / ``trace_summary()``
     expose the recorded timeline.
+
+    ``telemetry=True`` likewise attaches a
+    :class:`~repro.telemetry.registry.MetricRegistry` before construction
+    (instrumented layers cache the handle) plus a per-HAU
+    :class:`~repro.telemetry.sampler.Sampler`; the result's
+    ``telemetry_snapshot()`` / ``write_telemetry()`` expose the metrics.
     """
     env = Environment()
     tracer = env.enable_tracing() if trace else None
+    registry = env.enable_telemetry() if telemetry else None
     builder = APPS[cfg.app]
     app = builder.build(seed=cfg.seed, **cfg.app_params)
     runtime = DSPSRuntime(
@@ -236,6 +275,11 @@ def run_experiment(
     )
     runtime.start()
     state_trace = StateTraceRecorder(runtime) if trace_state else None
+    sampler = (
+        Sampler(runtime, registry=registry, interval=telemetry_interval)
+        if telemetry
+        else None
+    )
 
     if failure_at is not None:
 
@@ -249,6 +293,10 @@ def run_experiment(
                 node = runtime.dc.node(node_id)
                 if node.alive:
                     node.fail("experiment")
+                    if env.telemetry.enabled:
+                        env.telemetry.counter(
+                            "ms_failures_injected_total", kind="node"
+                        ).inc()
                     if env.trace.enabled:
                         env.trace.emit(
                             "failure.inject",
@@ -265,6 +313,7 @@ def run_experiment(
     probe = app.params.get("probe_prefix", "")
     throughput = runtime.metrics.stage_throughput(probe, cfg.warmup, cfg.end)
     latency = runtime.metrics.stage_latency(probe, cfg.warmup, cfg.end)
+    percentiles = runtime.metrics.stage_latency_percentiles(probe, cfg.warmup, cfg.end)
     return ExperimentResult(
         config=cfg,
         throughput=throughput,
@@ -273,6 +322,9 @@ def run_experiment(
         runtime=runtime,
         state_trace=state_trace,
         tracer=tracer,
+        telemetry=registry,
+        telemetry_sampler=sampler,
+        latency_percentiles=percentiles,
     )
 
 

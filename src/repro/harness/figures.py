@@ -105,6 +105,9 @@ class SweepCell:
     throughput: int
     latency: float
     rounds_completed: int
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
 
 
 @dataclass
@@ -169,7 +172,12 @@ def fig12_fig13_sweep(
                     ref = result.cell(app, "ms-src+ap", 0)
                     if ref is not None:
                         result.cells.append(
-                            SweepCell(app, scheme, 0, ref.throughput, ref.latency, 0)
+                            SweepCell(
+                                app, scheme, 0, ref.throughput, ref.latency, 0,
+                                latency_p50=ref.latency_p50,
+                                latency_p95=ref.latency_p95,
+                                latency_p99=ref.latency_p99,
+                            )
                         )
                     continue
                 # aa needs its profiling pass to observe at least one full
@@ -183,8 +191,14 @@ def fig12_fig13_sweep(
                 res = run_experiment(cfg)
                 logs = res.checkpoint_logs
                 done = sum(1 for log in logs if getattr(log, "complete", False))
+                pct = res.latency_percentiles
                 result.cells.append(
-                    SweepCell(app, scheme, n, res.throughput, res.latency, done)
+                    SweepCell(
+                        app, scheme, n, res.throughput, res.latency, done,
+                        latency_p50=pct.get("p50", 0.0),
+                        latency_p95=pct.get("p95", 0.0),
+                        latency_p99=pct.get("p99", 0.0),
+                    )
                 )
     return result
 

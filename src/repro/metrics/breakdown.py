@@ -44,6 +44,41 @@ class CheckpointBreakdown:
     def total(self) -> float:
         return self.token_collection + self.other + self.disk_io
 
+    @property
+    def complete(self) -> bool:
+        """Every phase timestamp was recorded.
+
+        An unset timestamp is 0.0 (the convention throughout the schemes:
+        a checkpoint that dies mid-round — failure during token collection
+        or during the write — leaves later timestamps at zero).  The span
+        properties clamp those to 0.0, which is indistinguishable from a
+        genuinely instant phase; use this flag (or :meth:`spans`) to tell
+        the difference before aggregating into Fig. 14.
+        """
+        return (
+            self.tokens_done_at > 0.0
+            and self.write_start_at > 0.0
+            and self.write_end_at >= self.write_start_at > 0.0
+        )
+
+    def spans(self) -> dict[str, Optional[float]]:
+        """Phase durations with ``None`` for phases never reached.
+
+        Unlike the clamped properties, an interrupted checkpoint shows up
+        as ``{"token_collection": None, ...}`` rather than as zeros.
+        """
+        return {
+            "token_collection": (
+                self.token_collection if self.tokens_done_at > 0.0 else None
+            ),
+            "disk_io": (
+                self.disk_io
+                if self.write_start_at > 0.0 and self.write_end_at > 0.0
+                else None
+            ),
+            "other": self.other,
+        }
+
 
 @dataclass
 class CheckpointLog:
@@ -64,6 +99,14 @@ class CheckpointLog:
     @property
     def complete(self) -> bool:
         return self.completed_at is not None
+
+    def incomplete_haus(self) -> list[str]:
+        """HAUs whose individual checkpoint never finished (sorted).
+
+        Non-empty on rounds cut short by a failure; those breakdowns'
+        clamped spans read as zeros and must not be averaged into Fig. 14.
+        """
+        return sorted(h for h, b in self.haus.items() if not b.complete)
 
     def slowest(self) -> Optional[CheckpointBreakdown]:
         """The slowest individual checkpoint (the §IV-B measurement for
@@ -101,6 +144,15 @@ class RecoveryBreakdown:
     @property
     def other(self) -> float:
         return self.reload_seconds + self.deserialize_seconds
+
+    @property
+    def complete(self) -> bool:
+        """The recovery ran to completion (``completed_at`` was stamped);
+        an abandoned recovery leaves it at 0.0 and ``total`` clamps to
+        zero, which would otherwise read as an instant recovery."""
+        return self.completed_at >= self.started_at > 0.0 or (
+            self.started_at == 0.0 and self.completed_at > 0.0
+        )
 
     @property
     def total(self) -> float:

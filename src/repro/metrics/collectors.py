@@ -13,6 +13,18 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.observability.tracer import ensure_tracer
+from repro.telemetry.quantile import exact_percentile
+
+DEFAULT_LATENCY_PERCENTILES = (0.5, 0.95, 0.99)
+
+
+def _percentile_dict(
+    latencies: list[float], percentiles: tuple[float, ...]
+) -> dict[str, float]:
+    latencies = sorted(latencies)
+    return {
+        f"p{round(p * 100):d}": exact_percentile(latencies, p) for p in percentiles
+    }
 
 
 @dataclass(frozen=True)
@@ -74,6 +86,18 @@ class MetricsHub:
         lats = [done - created for created, done in self._probe(probe_prefix, start, end)]
         return sum(lats) / len(lats) if lats else 0.0
 
+    def stage_latency_percentiles(
+        self,
+        probe_prefix: str,
+        start: float = 0.0,
+        end: Optional[float] = None,
+        percentiles: tuple[float, ...] = DEFAULT_LATENCY_PERCENTILES,
+    ) -> dict[str, float]:
+        """Exact latency percentiles at the probe stage, e.g.
+        ``{"p50": ..., "p95": ..., "p99": ...}`` (0.0 for empty windows)."""
+        lats = [done - created for created, done in self._probe(probe_prefix, start, end)]
+        return _percentile_dict(lats, percentiles)
+
     def stage_latency_series(
         self, probe_prefix: str, start: float = 0.0, end: Optional[float] = None
     ) -> list[tuple[float, float]]:
@@ -119,6 +143,21 @@ class MetricsHub:
             if s.arrived_at >= start and (end is None or s.arrived_at < end)
         ]
         return sum(lats) / len(lats) if lats else 0.0
+
+    def latency_percentiles(
+        self,
+        start: float = 0.0,
+        end: Optional[float] = None,
+        percentiles: tuple[float, ...] = DEFAULT_LATENCY_PERCENTILES,
+    ) -> dict[str, float]:
+        """Exact sink-latency percentiles over [start, end), as
+        ``{"p50": ..., "p95": ..., "p99": ...}`` (0.0 for empty windows)."""
+        lats = [
+            s.latency
+            for s in self.sink_samples
+            if s.arrived_at >= start and (end is None or s.arrived_at < end)
+        ]
+        return _percentile_dict(lats, percentiles)
 
     def latency_series(
         self, start: float = 0.0, end: Optional[float] = None

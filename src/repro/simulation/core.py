@@ -14,6 +14,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.observability.tracer import NULL_TRACER, Tracer
+from repro.telemetry.registry import NULL_REGISTRY, MetricRegistry
 
 # Event scheduling priorities.  URGENT is used internally for process
 # resumption bookkeeping so that, at a given instant, state mutations
@@ -295,6 +296,9 @@ class Environment:
         # Structured tracing (repro.observability): the no-op default means
         # instrumented hot paths pay one attribute check per emission site.
         self.trace = NULL_TRACER
+        # Runtime telemetry (repro.telemetry): same contract as tracing —
+        # the shared no-op registry keeps disabled instrumentation free.
+        self.telemetry = NULL_REGISTRY
 
     def enable_tracing(self, tracer: Optional[Tracer] = None) -> Tracer:
         """Attach a :class:`~repro.observability.tracer.Tracer` (a fresh
@@ -302,6 +306,16 @@ class Environment:
         through ``env.trace`` from then on."""
         self.trace = tracer if tracer is not None else Tracer()
         return self.trace
+
+    def enable_telemetry(
+        self, registry: Optional[MetricRegistry] = None
+    ) -> MetricRegistry:
+        """Attach a :class:`~repro.telemetry.registry.MetricRegistry` (a
+        fresh one unless given) and return it.  Like tracing, enable
+        before constructing the runtime: instrumented layers cache
+        ``env.telemetry`` at construction time."""
+        self.telemetry = registry if registry is not None else MetricRegistry()
+        return self.telemetry
 
     @property
     def now(self) -> float:

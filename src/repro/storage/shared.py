@@ -74,11 +74,19 @@ class SharedStorage:
             )
         )
         self.bytes_written += int(size)
+        if self.env.telemetry.enabled:
+            self.env.telemetry.counter(
+                "ms_storage_bytes_written_total", namespace=namespace
+            ).inc(int(size))
 
     def _produce(self, namespace: str, key: str, version: Optional[int], priority: int = 0):
         obj = self.lookup(namespace, key, version)
         yield from self.node.disk.transfer(obj.size, priority=priority)
         self.bytes_read += obj.size
+        if self.env.telemetry.enabled:
+            self.env.telemetry.counter(
+                "ms_storage_bytes_read_total", namespace=namespace
+            ).inc(obj.size)
         return obj
 
     # -- control plane (instant metadata access for the co-located controller) --

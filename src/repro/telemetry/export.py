@@ -1,0 +1,113 @@
+"""Telemetry exporters: deterministic JSON snapshot + Prometheus text.
+
+The JSON snapshot carries every registry metric (canonical ordering:
+sorted by name then labels) and, when a sampler is attached, the per-HAU
+time series.  Every value is simulation-derived, keys are sorted and
+floats rendered by ``repr`` — so two runs with the same seed produce
+*byte-identical* snapshots (the same contract as the trace JSONL export,
+and what CI's telemetry artifact relies on).
+
+The Prometheus export renders the standard text exposition format
+(counters and gauges verbatim; histograms as summaries with quantile
+labels plus ``_sum``/``_count``), so a snapshot can be scraped or pushed
+without any client library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.telemetry.registry import Histogram, RegistryLike
+
+_JSON_KW = dict(sort_keys=True, indent=2, allow_nan=False)
+
+
+def snapshot(
+    registry: RegistryLike,
+    sampler=None,
+    meta: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
+    """Fold a registry (and optional sampler) into a JSON-ready dict."""
+    snap: dict[str, Any] = {
+        "meta": dict(meta or {}),
+        "metrics": [m.as_dict() for m in registry.metrics()],
+        "series": sampler.series_dict() if sampler is not None else {},
+    }
+    return snap
+
+
+def dumps_snapshot(snap: dict[str, Any]) -> str:
+    """Canonical JSON text for a snapshot (trailing newline included)."""
+    return json.dumps(snap, **_JSON_KW) + "\n"
+
+
+def write_snapshot(snap: dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write(dumps_snapshot(snap))
+
+
+def read_snapshot(path: str) -> dict[str, Any]:
+    """Parse a snapshot file back (for the report CLI and tests)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+# -- Prometheus text exposition ------------------------------------------------
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(labels: dict[str, str] | tuple, extra: Optional[dict[str, str]] = None) -> str:
+    pairs = dict(labels)
+    if extra:
+        pairs.update(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in sorted(pairs.items())
+    )
+    return "{" + body + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: RegistryLike) -> str:
+    """The registry in Prometheus text format (one trailing newline).
+
+    Histograms are exposed as summaries: ``name{quantile="0.5"}`` per
+    tracked percentile, plus ``name_sum`` and ``name_count``.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+    for metric in registry.metrics():
+        if isinstance(metric, Histogram):
+            if metric.name not in typed:
+                lines.append(f"# TYPE {metric.name} summary")
+                typed.add(metric.name)
+            for key, value in sorted(metric.quantiles().items()):
+                q = int(key[1:]) / 100.0
+                lines.append(
+                    f"{metric.name}{_label_str(metric.labels, {'quantile': repr(q)})}"
+                    f" {_fmt_value(value)}"
+                )
+            lines.append(
+                f"{metric.name}_sum{_label_str(metric.labels)} {_fmt_value(metric.sum)}"
+            )
+            lines.append(
+                f"{metric.name}_count{_label_str(metric.labels)} {metric.count}"
+            )
+        else:
+            if metric.name not in typed:
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+                typed.add(metric.name)
+            lines.append(
+                f"{metric.name}{_label_str(metric.labels)} {_fmt_value(metric.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

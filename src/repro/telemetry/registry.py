@@ -1,0 +1,303 @@
+"""The metric registry: counters, gauges and streaming histograms.
+
+A :class:`MetricRegistry` rides on the simulation
+:class:`~repro.simulation.core.Environment` (``env.telemetry``) the same
+way the tracer rides on ``env.trace``: the default is
+:data:`NULL_REGISTRY`, whose ``enabled`` flag is False and whose factory
+methods hand back a shared no-op metric — instrumented hot loops pay a
+single attribute check when telemetry is off, and emission sites never
+need ``if`` pyramids just to construct a metric handle.
+
+Metrics are identified by ``(name, labels)``; labels are sorted
+``(key, value)`` pairs so the identity (and every exported form) is
+canonical.  Values are simulation-derived only, which makes the JSON
+snapshot byte-identical across same-seed runs (the determinism contract
+shared with :mod:`repro.observability`).
+
+Naming convention (documented in DESIGN.md): ``ms_<subsystem>_<what>``
+with a ``_total`` suffix for counters and a ``_seconds`` / ``_bytes``
+unit suffix where applicable — directly exportable as Prometheus text.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Union
+
+from repro.telemetry.quantile import P2Quantile
+
+LabelPairs = tuple[tuple[str, str], ...]
+
+DEFAULT_PERCENTILES = (0.5, 0.95, 0.99)
+
+
+class Counter:
+    """A monotonically increasing value (counts, bytes, seconds-of-work)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelPairs = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount!r})")
+        self.value += amount
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "type": self.kind,
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, state bytes)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelPairs = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "type": self.kind,
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """A streaming distribution: count/sum/min/max plus P² percentiles.
+
+    Keeps no sample buffer — each tracked percentile costs five markers
+    (see :class:`~repro.telemetry.quantile.P2Quantile`), so per-tuple
+    latency observation stays O(1) in both time and memory.
+    """
+
+    __slots__ = ("name", "labels", "count", "sum", "min", "max", "_estimators")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelPairs = (),
+        percentiles: tuple[float, ...] = DEFAULT_PERCENTILES,
+    ):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.sum = 0.0
+        self.min = 0.0
+        self.max = 0.0
+        self._estimators = {p: P2Quantile(p) for p in percentiles}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if self.count == 0:
+            self.min = self.max = value
+        else:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+        self.count += 1
+        self.sum += value
+        for est in self._estimators.values():
+            est.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        est = self._estimators.get(p)
+        if est is None:
+            raise KeyError(f"histogram {self.name} does not track p={p!r}")
+        return est.value()
+
+    def quantiles(self) -> dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` (tracked set)."""
+        return {
+            f"p{round(p * 100):d}": est.value()
+            for p, est in sorted(self._estimators.items())
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        out = {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+        out.update(self.quantiles())
+        return out
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class _NullMetric:
+    """Accepts every mutation and does nothing; reads as empty."""
+
+    __slots__ = ()
+
+    name = ""
+    labels: LabelPairs = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    min = 0.0
+    max = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def percentile(self, p: float) -> float:
+        return 0.0
+
+    def quantiles(self) -> dict[str, float]:
+        return {}
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """The default no-op registry: ``enabled`` is False, and every
+    factory returns the shared do-nothing metric, so instrumentation can
+    be installed unconditionally and guarded by one attribute check in
+    the loops that matter."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def counter(self, name: str, **labels: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, **labels: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, **labels: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def metrics(self) -> list[Metric]:
+        return []
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+def _label_pairs(labels: dict[str, str]) -> LabelPairs:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricRegistry:
+    """Holds every metric of one run, keyed by (name, sorted labels).
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: repeated calls
+    with the same identity return the same object, so call sites do not
+    need to cache handles for correctness (they may for speed).
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._metrics: dict[tuple[str, LabelPairs], Metric] = {}
+
+    def _get(self, cls, name: str, labels: dict[str, str], **kwargs) -> Metric:
+        key = (name, _label_pairs(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r}{dict(key[1])!r} already registered "
+                f"as {metric.kind}, requested {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        percentiles: Optional[tuple[float, ...]] = None,
+        **labels: str,
+    ) -> Histogram:
+        if percentiles is None:
+            return self._get(Histogram, name, labels)
+        return self._get(Histogram, name, labels, percentiles=percentiles)
+
+    # -- queries -----------------------------------------------------------
+    def metrics(self) -> list[Metric]:
+        """All metrics, sorted by (name, labels) for stable export."""
+        return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def get(self, name: str, **labels: str) -> Optional[Metric]:
+        """The metric if it exists — never creates (for tooling/tests)."""
+        return self._metrics.get((name, _label_pairs(labels)))
+
+    def select(self, prefix: str) -> list[Metric]:
+        return [m for m in self.metrics() if m.name.startswith(prefix)]
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self.metrics())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetricRegistry {len(self._metrics)} metrics>"
+
+
+RegistryLike = Any  # MetricRegistry | NullRegistry — same factory surface
+
+
+def ensure_registry(registry: Optional[RegistryLike]) -> RegistryLike:
+    """Coerce ``None`` to the shared no-op registry."""
+    return NULL_REGISTRY if registry is None else registry

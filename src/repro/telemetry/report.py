@@ -1,0 +1,121 @@
+"""Human-readable report of a telemetry snapshot.
+
+``python -m repro.telemetry.report <snapshot.json>`` renders the
+snapshot written by :func:`repro.telemetry.export.write_snapshot` (or
+``ExperimentResult.write_telemetry``) as fixed-width tables: counters
+and gauges, histogram distributions (count/mean/p50/p95/p99/max), and a
+per-HAU digest of every sampled time series.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any
+
+
+def _labels_str(labels: dict[str, str]) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+
+
+def render_snapshot(snap: dict[str, Any]) -> str:
+    """The whole snapshot as a text report (tables + header)."""
+    # deferred: repro.harness pulls in the experiment stack, which must
+    # not load just because telemetry (a leaf dependency of it) does
+    from repro.harness.report import format_table
+
+    sections: list[str] = []
+    meta = snap.get("meta") or {}
+    if meta:
+        head = "  ".join(f"{k}={meta[k]}" for k in sorted(meta))
+        sections.append(f"telemetry snapshot: {head}")
+
+    metrics = snap.get("metrics") or []
+    scalars = [m for m in metrics if m.get("type") in ("counter", "gauge")]
+    if scalars:
+        rows = [
+            [m["name"], m["type"], _labels_str(m.get("labels", {})), m["value"]]
+            for m in scalars
+        ]
+        sections.append(
+            format_table(["metric", "type", "labels", "value"], rows,
+                         title="Counters and gauges")
+        )
+
+    histos = [m for m in metrics if m.get("type") == "histogram"]
+    if histos:
+        rows = [
+            [
+                m["name"],
+                _labels_str(m.get("labels", {})),
+                m["count"],
+                m.get("mean", 0.0),
+                m.get("p50", 0.0),
+                m.get("p95", 0.0),
+                m.get("p99", 0.0),
+                m.get("max", 0.0),
+            ]
+            for m in histos
+        ]
+        sections.append(
+            format_table(
+                ["histogram", "labels", "count", "mean", "p50", "p95", "p99", "max"],
+                rows,
+                title="Distributions",
+            )
+        )
+
+    series = snap.get("series") or {}
+    for metric_name in sorted(series):
+        per_hau = series[metric_name]
+        rows = []
+        for hau_id in sorted(per_hau):
+            points = per_hau[hau_id]
+            values = [v for (_t, v) in points]
+            if not values:
+                continue
+            rows.append(
+                [
+                    hau_id,
+                    len(values),
+                    values[-1],
+                    min(values),
+                    max(values),
+                    sum(values) / len(values),
+                ]
+            )
+        if rows:
+            sections.append(
+                format_table(
+                    ["hau", "samples", "last", "min", "max", "mean"],
+                    rows,
+                    title=f"Series: {metric_name}",
+                )
+            )
+    if not sections:
+        sections.append("telemetry snapshot: empty")
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1 or argv[0] in ("-h", "--help"):
+        print("usage: python -m repro.telemetry.report <snapshot.json>",
+              file=sys.stderr)
+        return 2
+    from repro.telemetry.export import read_snapshot
+
+    try:
+        snap = read_snapshot(argv[0])
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(render_snapshot(snap))
+    except BrokenPipeError:
+        # downstream consumer (e.g. `head`) closed the pipe early
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Unit tests for the CI regression gate (benchmarks/check_regression.py):
+throughput gate, the latency gate and its dedicated exit code, and
+backward compatibility with latency-less baselines."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+_MOD_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _MOD_PATH)
+check_regression = importlib.util.module_from_spec(_spec)
+sys.modules["check_regression"] = check_regression
+_spec.loader.exec_module(check_regression)
+
+
+def _report(cells, mode="fast"):
+    return {"mode": mode, "cells": cells}
+
+
+def _cell(app="tmi", scheme="ms-src", n=0, throughput=1000.0, latency=2.0, **extra):
+    cell = {
+        "app": app,
+        "scheme": scheme,
+        "n_checkpoints": n,
+        "throughput": throughput,
+        "latency": latency,
+    }
+    cell.update(extra)
+    return cell
+
+
+def _write(tmp_path, name, report):
+    path = tmp_path / name
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+def test_identical_reports_pass(tmp_path):
+    rep = _report([_cell(), _cell(scheme="baseline", throughput=400.0, latency=5.0)])
+    cur = _write(tmp_path, "cur.json", rep)
+    base = _write(tmp_path, "base.json", rep)
+    assert check_regression.main([cur, "--baseline", base]) == check_regression.EXIT_OK
+
+
+def test_throughput_regression_exits_1(tmp_path):
+    base = _write(tmp_path, "base.json", _report([_cell(throughput=1000.0)]))
+    cur = _write(tmp_path, "cur.json", _report([_cell(throughput=800.0)]))
+    assert (
+        check_regression.main([cur, "--baseline", base])
+        == check_regression.EXIT_THROUGHPUT
+    )
+    # within tolerance passes
+    cur_ok = _write(tmp_path, "cur_ok.json", _report([_cell(throughput=900.0)]))
+    assert check_regression.main([cur_ok, "--baseline", base]) == check_regression.EXIT_OK
+
+
+def test_latency_only_regression_exits_3(tmp_path):
+    base = _write(tmp_path, "base.json", _report([_cell(latency=2.0)]))
+    cur = _write(tmp_path, "cur.json", _report([_cell(latency=2.5)]))  # +25%
+    assert (
+        check_regression.main([cur, "--baseline", base])
+        == check_regression.EXIT_LATENCY
+    )
+    # a custom latency tolerance can absorb it
+    assert (
+        check_regression.main(
+            [cur, "--baseline", base, "--latency-tolerance", "0.30"]
+        )
+        == check_regression.EXIT_OK
+    )
+
+
+def test_throughput_regression_wins_over_latency(tmp_path):
+    base = _write(tmp_path, "base.json", _report([_cell(throughput=1000.0, latency=2.0)]))
+    cur = _write(tmp_path, "cur.json", _report([_cell(throughput=500.0, latency=9.0)]))
+    assert (
+        check_regression.main([cur, "--baseline", base])
+        == check_regression.EXIT_THROUGHPUT
+    )
+
+
+def test_latency_improvement_passes(tmp_path):
+    base = _write(tmp_path, "base.json", _report([_cell(latency=2.0)]))
+    cur = _write(tmp_path, "cur.json", _report([_cell(latency=1.0)]))
+    assert check_regression.main([cur, "--baseline", base]) == check_regression.EXIT_OK
+
+
+def test_baseline_without_latency_skips_gate(tmp_path, capsys):
+    base_cell = _cell()
+    del base_cell["latency"]
+    base = _write(tmp_path, "base.json", _report([base_cell]))
+    cur = _write(tmp_path, "cur.json", _report([_cell(latency=99.0)]))
+    assert check_regression.main([cur, "--baseline", base]) == check_regression.EXIT_OK
+    assert "no latency, gate skipped" in capsys.readouterr().out
+
+
+def test_current_missing_latency_is_a_latency_regression(tmp_path):
+    base = _write(tmp_path, "base.json", _report([_cell(latency=2.0)]))
+    cur_cell = _cell()
+    del cur_cell["latency"]
+    cur = _write(tmp_path, "cur.json", _report([cur_cell]))
+    assert (
+        check_regression.main([cur, "--baseline", base])
+        == check_regression.EXIT_LATENCY
+    )
+
+
+def test_missing_cell_and_mode_mismatch_exit_1(tmp_path):
+    base = _write(tmp_path, "base.json", _report([_cell(), _cell(scheme="oracle")]))
+    cur = _write(tmp_path, "cur.json", _report([_cell()]))
+    assert (
+        check_regression.main([cur, "--baseline", base])
+        == check_regression.EXIT_THROUGHPUT
+    )
+    cur_full = _write(tmp_path, "cur_full.json", _report([_cell()], mode="full"))
+    assert (
+        check_regression.main([cur_full, "--baseline", base])
+        == check_regression.EXIT_THROUGHPUT
+    )
+
+
+def test_bad_invocation_exits_2(tmp_path):
+    missing = str(tmp_path / "nope.json")
+    assert check_regression.main([missing]) == check_regression.EXIT_BAD_INVOCATION
+    not_report = _write(tmp_path, "bad.json", {"hello": 1})
+    assert (
+        check_regression.main([not_report]) == check_regression.EXIT_BAD_INVOCATION
+    )
+
+
+def test_checked_in_baseline_has_latency_cells():
+    """The shipped baseline carries per-cell latency, so the new gate is
+    active (not silently skipped) in CI."""
+    report = check_regression.load_report(str(check_regression.DEFAULT_BASELINE))
+    lat = check_regression.cell_values(report, "latency")
+    assert lat, "BENCH_baseline.json should carry per-cell latency"

@@ -106,3 +106,80 @@ def test_events_recorded():
     hub = MetricsHub()
     hub.record_event(5.0, "recovery-start", "w3")
     assert hub.events == [(5.0, "recovery-start", "w3")]
+
+
+def test_latency_percentiles_sink_and_stage():
+    hub = MetricsHub()
+    for i in range(1, 101):
+        hub.record_sink("s", 0.0, float(i))
+        hub.record_stage("A0", 0.0, float(i))
+    pct = hub.latency_percentiles()
+    assert set(pct) == {"p50", "p95", "p99"}
+    assert pct["p50"] == pytest.approx(50.5)
+    assert pct["p95"] == pytest.approx(95.05)
+    assert pct["p50"] <= pct["p95"] <= pct["p99"]
+    stage = hub.stage_latency_percentiles("A")
+    assert stage == pytest.approx(pct)
+    # windowing applies
+    assert hub.latency_percentiles(start=1000.0)["p50"] == 0.0
+
+
+def test_latency_percentiles_empty_window():
+    hub = MetricsHub()
+    assert hub.latency_percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    assert hub.stage_latency_percentiles("A") == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def test_latency_percentiles_custom_fractions():
+    hub = MetricsHub()
+    for i in range(1, 11):
+        hub.record_sink("s", 0.0, float(i))
+    pct = hub.latency_percentiles(percentiles=(0.1, 0.9))
+    assert set(pct) == {"p10", "p90"}
+
+
+def test_checkpoint_breakdown_completeness_flags():
+    # fully recorded
+    done = CheckpointBreakdown(hau_id="a", round_id=1)
+    done.command_at, done.tokens_done_at = 1.0, 2.0
+    done.write_start_at, done.write_end_at = 2.0, 5.0
+    assert done.complete
+    assert done.spans() == {
+        "token_collection": pytest.approx(1.0),
+        "disk_io": pytest.approx(3.0),
+        "other": 0.0,
+    }
+
+    # killed during token collection: clamped spans read 0.0, flags don't
+    cut = CheckpointBreakdown(hau_id="b", round_id=1)
+    cut.command_at = 1.0
+    assert not cut.complete
+    assert cut.token_collection == 0.0  # the misleading clamped value
+    spans = cut.spans()
+    assert spans["token_collection"] is None
+    assert spans["disk_io"] is None
+
+    # killed mid-write: write_end_at never stamped
+    midwrite = CheckpointBreakdown(hau_id="c", round_id=1)
+    midwrite.command_at, midwrite.tokens_done_at = 1.0, 2.0
+    midwrite.write_start_at = 2.0
+    assert not midwrite.complete
+    assert midwrite.spans()["disk_io"] is None
+
+
+def test_checkpoint_log_incomplete_haus():
+    log = CheckpointLog(round_id=1, started_at=0.0)
+    ok = log.breakdown("ok")
+    ok.command_at, ok.tokens_done_at = 0.0, 1.0
+    ok.write_start_at, ok.write_end_at = 1.0, 2.0
+    log.breakdown("dead")  # never progressed
+    assert log.incomplete_haus() == ["dead"]
+    assert not log.complete
+
+
+def test_recovery_breakdown_completeness():
+    ok = RecoveryBreakdown(started_at=10.0, completed_at=15.0)
+    assert ok.complete and ok.total == pytest.approx(5.0)
+    abandoned = RecoveryBreakdown(started_at=10.0)  # completed_at unset
+    assert not abandoned.complete
+    assert abandoned.total == 0.0  # the misleading clamped value

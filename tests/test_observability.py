@@ -25,6 +25,7 @@ from repro.observability import (
     render_summary,
     summarize,
     write_jsonl,
+    write_summary,
 )
 from repro.simulation import Environment
 
@@ -287,3 +288,76 @@ def test_experiment_harness_trace_roundtrip(tmp_path):
     assert res2.tracer is None
     with pytest.raises(RuntimeError):
         res2.trace_jsonl()
+
+
+# -- export/summary edge cases: empty traces and single events ------------------
+
+
+def test_export_empty_trace(tmp_path):
+    tr = Tracer()
+    assert dumps_jsonl(tr) == ""
+    path = tmp_path / "empty.jsonl"
+    assert write_jsonl(tr, str(path)) == 0
+    assert path.read_text() == ""
+    assert read_jsonl(str(path)) == []
+
+
+def test_export_single_event_roundtrip(tmp_path):
+    tr = Tracer()
+    tr.emit("hau.start", t=1.5, subject="w0", node="n3")
+    text = dumps_jsonl(tr)
+    assert text.endswith("\n") and text.count("\n") == 1
+    path = tmp_path / "one.jsonl"
+    assert write_jsonl(tr, str(path)) == 1
+    [parsed] = read_jsonl(str(path))
+    assert parsed == json.loads(text)
+    assert parsed["kind"] == "hau.start"
+    assert parsed["t"] == 1.5
+    assert parsed["data"] == {"node": "n3"}
+
+
+def test_jsonl_stream_writer_empty(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    tr = Tracer()
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        writer = JsonlStreamWriter(fh)
+        tr.subscribe(writer)
+    assert writer.written == 0
+    assert path.read_text() == ""
+
+
+def test_summarize_empty_trace():
+    summary = summarize(Tracer())
+    assert summary["n_events"] == 0
+    assert summary["span"] == [0.0, 0.0]
+    assert summary["counts"] == {}
+    assert summary["rounds"] == []
+    assert summary["recoveries"] == []
+    report = render_summary(summary)
+    assert "0 events" in report
+    # no optional sections appear for an empty trace
+    assert "checkpoint rounds:" not in report
+    assert "recoveries" not in report
+
+
+def test_summarize_single_event():
+    tr = Tracer()
+    tr.emit("checkpoint.round.start", t=3.0, subject="ms-src", round=1)
+    summary = summarize(tr)
+    assert summary["n_events"] == 1
+    assert summary["span"] == [3.0, 3.0]
+    assert summary["counts"] == {"checkpoint.round.start": 1}
+    [entry] = summary["rounds"]
+    assert entry["round_id"] == 1
+    assert entry["started_at"] == 3.0
+    assert entry["completed_at"] is None
+    report = render_summary(summary)
+    assert "round 1 [ms-src] incomplete" in report
+
+
+def test_write_summary_of_empty_trace_is_deterministic(tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    write_summary(summarize(Tracer()), str(a))
+    write_summary(summarize(Tracer()), str(b))
+    assert a.read_bytes() == b.read_bytes()
+    assert json.loads(a.read_text())["n_events"] == 0

@@ -1,0 +1,344 @@
+"""Tests for the runtime telemetry subsystem (repro.telemetry):
+P² quantile accuracy, registry semantics, the no-op default, per-HAU
+sampling, deterministic JSON snapshots, Prometheus export, and the
+report CLI."""
+
+import json
+import random
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import MSSrc, MSSrcAP
+from repro.dsps import DSPSRuntime, RuntimeConfig, StreamApplication
+from repro.dsps.testing import make_chain_graph
+from repro.simulation import Environment
+from repro.telemetry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    P2Quantile,
+    Sampler,
+    dumps_snapshot,
+    ensure_registry,
+    exact_percentile,
+    read_snapshot,
+    snapshot,
+    to_prometheus,
+    write_snapshot,
+)
+from repro.telemetry.report import main as report_main
+from repro.telemetry.report import render_snapshot
+
+
+def deploy(scheme, seed=7, workers=4, spares=6, telemetry=True, **graph_kw):
+    g, holder = make_chain_graph(**graph_kw)
+    env = Environment()
+    if telemetry:
+        env.enable_telemetry()
+    rt = DSPSRuntime(
+        env,
+        StreamApplication(name="t", graph=g),
+        scheme,
+        RuntimeConfig(seed=seed, cluster=ClusterSpec(workers=workers, spares=spares, racks=2)),
+    )
+    rt.start()
+    return env, rt, holder
+
+
+# -- exact percentile ----------------------------------------------------------
+
+
+def test_exact_percentile_basics():
+    assert exact_percentile([], 0.5) == 0.0
+    assert exact_percentile([3.0], 0.99) == 3.0
+    vals = [1.0, 2.0, 3.0, 4.0]
+    assert exact_percentile(vals, 0.0) == 1.0
+    assert exact_percentile(vals, 1.0) == 4.0
+    assert exact_percentile(vals, 0.5) == pytest.approx(2.5)
+
+
+def test_exact_percentile_rejects_bad_fraction():
+    with pytest.raises(ValueError):
+        exact_percentile([1.0], 1.5)
+    with pytest.raises(ValueError):
+        exact_percentile([1.0], -0.1)
+
+
+# -- the P² estimator ----------------------------------------------------------
+
+
+def test_p2_rejects_degenerate_fractions():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+
+
+def test_p2_empty_and_small_samples_are_exact():
+    est = P2Quantile(0.5)
+    assert est.value() == 0.0
+    for x in [5.0, 1.0, 3.0]:
+        est.observe(x)
+    assert est.value() == pytest.approx(exact_percentile([1.0, 3.0, 5.0], 0.5))
+
+
+@pytest.mark.parametrize("p", [0.5, 0.95, 0.99])
+def test_p2_within_5pct_of_exact_on_10k_samples(p):
+    """Acceptance criterion: P² within 5% of the exact sorted percentile."""
+    rng = random.Random(1234)
+    samples = [rng.lognormvariate(0.0, 0.5) for _ in range(10_000)]
+    est = P2Quantile(p)
+    for x in samples:
+        est.observe(x)
+    exact = exact_percentile(sorted(samples), p)
+    assert est.value() == pytest.approx(exact, rel=0.05)
+
+
+def test_p2_is_deterministic():
+    rng = random.Random(7)
+    samples = [rng.random() for _ in range(500)]
+    a, b = P2Quantile(0.95), P2Quantile(0.95)
+    for x in samples:
+        a.observe(x)
+        b.observe(x)
+    assert a.value() == b.value()
+
+
+# -- registry semantics --------------------------------------------------------
+
+
+def test_registry_get_or_create_and_labels_canonical():
+    reg = MetricRegistry()
+    c1 = reg.counter("ms_x_total", app="tmi", scheme="ms-src")
+    c2 = reg.counter("ms_x_total", scheme="ms-src", app="tmi")  # order-insensitive
+    assert c1 is c2
+    c1.inc(3)
+    assert c2.value == 3.0
+    assert len(reg) == 1
+
+
+def test_registry_kind_mismatch_raises():
+    reg = MetricRegistry()
+    reg.counter("ms_x_total")
+    with pytest.raises(TypeError):
+        reg.gauge("ms_x_total")
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter("c").inc(-1.0)
+
+
+def test_gauge_set_inc_dec():
+    g = Gauge("g")
+    g.set(5.0)
+    g.inc(2.0)
+    g.dec(3.0)
+    assert g.value == 4.0
+
+
+def test_histogram_streams_quantiles():
+    h = Histogram("h")
+    for i in range(1, 101):
+        h.observe(float(i))
+    assert h.count == 100
+    assert h.min == 1.0 and h.max == 100.0
+    assert h.mean == pytest.approx(50.5)
+    q = h.quantiles()
+    assert set(q) == {"p50", "p95", "p99"}
+    assert q["p50"] == pytest.approx(50.0, rel=0.1)
+    with pytest.raises(KeyError):
+        h.percentile(0.25)
+
+
+def test_registry_metrics_sorted_and_select():
+    reg = MetricRegistry()
+    reg.counter("ms_b_total")
+    reg.gauge("ms_a_bytes", hau="B")
+    reg.gauge("ms_a_bytes", hau="A")
+    names = [(m.name, m.labels) for m in reg.metrics()]
+    assert names == sorted(names)
+    assert [m.labels for m in reg.select("ms_a_")] == [
+        (("hau", "A"),),
+        (("hau", "B"),),
+    ]
+    assert reg.get("ms_b_total") is not None
+    assert reg.get("ms_missing") is None
+    assert len(reg) == 3  # get() never creates
+
+
+def test_null_registry_is_free_and_shared():
+    assert not NULL_REGISTRY.enabled
+    m = NULL_REGISTRY.counter("anything", hau="x")
+    assert m is NULL_REGISTRY.histogram("other")
+    m.inc()
+    m.observe(3.0)
+    m.set(1.0)
+    assert m.value == 0.0
+    assert NULL_REGISTRY.metrics() == []
+    assert len(NULL_REGISTRY) == 0
+    assert ensure_registry(None) is NULL_REGISTRY
+    reg = MetricRegistry()
+    assert ensure_registry(reg) is reg
+
+
+def test_env_telemetry_defaults_to_null():
+    env = Environment()
+    assert env.telemetry is NULL_REGISTRY
+    reg = env.enable_telemetry()
+    assert env.telemetry is reg and reg.enabled
+    mine = MetricRegistry()
+    assert env.enable_telemetry(mine) is mine
+
+
+# -- instrumented runtime ------------------------------------------------------
+
+
+def test_runtime_populates_metrics():
+    env, rt, _ = deploy(MSSrc(checkpoint_times=[3.0]), source_count=60)
+    rt.run(until=10.0)
+    reg = env.telemetry
+    tuples = reg.get("ms_hau_tuples_total", hau="agg")
+    assert tuples is not None and tuples.value > 0
+    lat = reg.get("ms_hau_tuple_latency_seconds", hau="sink")
+    assert lat is not None and lat.count > 0
+    assert reg.get("ms_checkpoint_rounds_total", scheme="ms-src").value == 1.0
+    sent = reg.get("ms_hau_tokens_sent_total", hau="src")
+    recv = reg.get("ms_hau_tokens_received_total", hau="agg")
+    assert sent is not None and sent.value >= 1.0
+    assert recv is not None and recv.value >= 1.0
+    wr = reg.get("ms_storage_bytes_written_total", namespace="ckpt")
+    assert wr is not None and wr.value > 0
+
+
+def test_runtime_without_telemetry_registers_nothing():
+    env, rt, _ = deploy(MSSrc(checkpoint_times=[3.0]), telemetry=False, source_count=40)
+    rt.run(until=8.0)
+    assert env.telemetry is NULL_REGISTRY
+    assert env.telemetry.metrics() == []
+
+
+# -- the sampler ---------------------------------------------------------------
+
+
+def test_sampler_records_per_hau_series():
+    env, rt, _ = deploy(MSSrcAP(checkpoint_times=[4.0]), source_count=80)
+    sampler = Sampler(rt, interval=1.0)
+    rt.run(until=10.0)
+    assert sampler.samples_taken >= 9
+    series = sampler.series_dict()
+    depth = series["ms_hau_inbox_depth"]
+    assert set(depth) == {"src", "agg", "mid", "sink"}
+    for points in depth.values():
+        assert len(points) == sampler.samples_taken
+        assert all(t > 0 and v >= 0 for t, v in points)
+    state = series["ms_hau_state_bytes"]
+    assert any(v > 0 for _t, v in state["agg"])
+    # preservation bytes at the source (SourcePreserver path)
+    assert any(v > 0 for _t, v in series["ms_hau_preserve_bytes"]["src"])
+    # the sampler keeps registry gauges current
+    g = sampler.registry.get("ms_hau_inbox_depth", hau="agg")
+    assert g is not None
+
+
+def test_sampler_rejects_bad_interval():
+    env, rt, _ = deploy(MSSrc(), source_count=5)
+    with pytest.raises(ValueError):
+        Sampler(rt, interval=0.0)
+
+
+# -- exporters -----------------------------------------------------------------
+
+
+def test_snapshot_deterministic_across_same_seed_runs():
+    def one_run():
+        env, rt, _ = deploy(MSSrcAP(checkpoint_times=[4.0]), seed=11, source_count=60)
+        sampler = Sampler(rt, interval=1.0)
+        rt.run(until=10.0)
+        return dumps_snapshot(
+            snapshot(env.telemetry, sampler=sampler, meta={"seed": 11})
+        )
+
+    assert one_run() == one_run()
+
+
+def test_snapshot_roundtrip_and_render(tmp_path):
+    env, rt, _ = deploy(MSSrc(checkpoint_times=[3.0]), source_count=40)
+    sampler = Sampler(rt, interval=1.0)
+    rt.run(until=8.0)
+    snap = snapshot(env.telemetry, sampler=sampler, meta={"app": "chain"})
+    path = tmp_path / "snap.json"
+    write_snapshot(snap, str(path))
+    back = read_snapshot(str(path))
+    assert back == json.loads(dumps_snapshot(snap))
+    report = render_snapshot(back)
+    assert "Counters and gauges" in report
+    assert "Distributions" in report
+    assert "Series: ms_hau_inbox_depth" in report
+
+
+def test_render_empty_snapshot():
+    assert "empty" in render_snapshot({"meta": {}, "metrics": [], "series": {}})
+
+
+def test_report_cli(tmp_path, capsys):
+    env, rt, _ = deploy(MSSrc(checkpoint_times=[3.0]), source_count=30)
+    rt.run(until=6.0)
+    path = tmp_path / "snap.json"
+    write_snapshot(snapshot(env.telemetry, meta={"scheme": "ms-src"}), str(path))
+    assert report_main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "scheme=ms-src" in out
+    assert report_main([]) == 2
+    assert report_main([str(tmp_path / "missing.json")]) == 2
+
+
+def test_prometheus_export_format():
+    reg = MetricRegistry()
+    reg.counter("ms_t_total", scheme="ms-src").inc(4)
+    reg.gauge("ms_depth", hau='we"ird').set(2.5)
+    h = reg.histogram("ms_lat_seconds")
+    for x in (0.1, 0.2, 0.3, 0.4, 0.5, 0.6):
+        h.observe(x)
+    text = to_prometheus(reg)
+    lines = text.splitlines()
+    assert "# TYPE ms_t_total counter" in lines
+    assert 'ms_t_total{scheme="ms-src"} 4' in lines
+    assert 'ms_depth{hau="we\\"ird"} 2.5' in lines
+    assert "# TYPE ms_lat_seconds summary" in lines
+    assert any(l.startswith('ms_lat_seconds{quantile="0.5"}') for l in lines)
+    assert "ms_lat_seconds_count 6" in lines
+    assert any(l.startswith("ms_lat_seconds_sum") for l in lines)
+    assert text.endswith("\n")
+    assert to_prometheus(MetricRegistry()) == ""
+
+
+# -- harness integration -------------------------------------------------------
+
+
+def test_run_experiment_telemetry(tmp_path):
+    from repro.harness import ExperimentConfig, run_experiment
+
+    cfg = ExperimentConfig(
+        app="tmi", scheme="ms-src", n_checkpoints=1, window=20.0, warmup=5.0,
+        workers=8, spares=10, racks=2, seed=3, app_params={"n_minutes": 0.1},
+    )
+    res = run_experiment(cfg, telemetry=True)
+    assert res.telemetry is not None and res.telemetry.enabled
+    assert res.telemetry_sampler is not None
+    assert set(res.latency_percentiles) == {"p50", "p95", "p99"}
+    assert res.latency_percentiles["p50"] <= res.latency_percentiles["p99"]
+    snap = res.telemetry_snapshot()
+    assert snap["meta"] == {"app": "tmi", "scheme": "ms-src", "seed": 3}
+    assert snap["metrics"] and snap["series"]
+    path = tmp_path / "telemetry.json"
+    res.write_telemetry(str(path))
+    assert read_snapshot(str(path)) == json.loads(res.telemetry_json())
+
+    plain = run_experiment(cfg)
+    assert plain.telemetry is None
+    with pytest.raises(RuntimeError):
+        plain.telemetry_snapshot()
