@@ -58,7 +58,7 @@ def test_ablation_rack_burst(benchmark):
 
     results = benchmark.pedantic(both, rounds=1, iterations=1)
     rows = []
-    for scheme, (rt, sch, post, fail_at) in results.items():
+    for scheme, (rt, sch, post, _fail_at) in results.items():
         if scheme == "baseline":
             outcome = (
                 f"{len(sch.recovered)} recovered, {len(sch.unrecoverable)} UNRECOVERABLE"

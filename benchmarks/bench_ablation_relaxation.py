@@ -52,7 +52,7 @@ def analyze(trace, alpha: float, period: float):
     while p < horizon:
         window = [(t, s) for (t, s) in agg if p <= t < p + period]
         picked = None
-        for (ta, sa), (tb, sb), (tc, sc) in zip(window, window[1:], window[2:]):
+        for (_ta, sa), (_tb, sb), (_tc, sc) in zip(window, window[1:], window[2:]):
             if sb < result.smax and sb <= sa and sb <= sc:
                 picked = sb
                 break

@@ -1,0 +1,40 @@
+"""repro-lint: AST-based invariant checks for the reproduction.
+
+The headline claim of this repo — byte-identical traces, telemetry
+snapshots and bench artifacts for a given seed — rests on coding
+invariants that ordinary linters do not know about: model code must
+never read the wall clock, every random draw must come from the seeded
+``repro.simulation.rng`` streams, export paths must not iterate
+unordered collections, simulation processes must only yield engine
+events, checkpoint schemes must implement their hook protocol, and the
+metric/trace name inventory must stay in sync with DESIGN.md.
+
+``python -m repro.analysis`` walks ``src/``, ``benchmarks/`` and
+``examples/`` once with a shared visitor and dispatches each AST node to
+the registered rules; cross-file rules (schema sync, protocol checks)
+accumulate state and report during a finalize phase.  See
+``python -m repro.analysis --list-rules`` for the rule inventory.
+"""
+
+from repro.analysis.baseline import Baseline, load_baseline, write_baseline
+from repro.analysis.engine import AnalysisConfig, Project, run_analysis
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, all_rules, get_rule, register
+
+# Importing the rule modules registers their rules.
+from repro.analysis import determinism, protocol, schema  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "AnalysisConfig",
+    "Baseline",
+    "Finding",
+    "Project",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "load_baseline",
+    "register",
+    "run_analysis",
+    "write_baseline",
+]

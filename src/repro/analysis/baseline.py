@@ -1,0 +1,93 @@
+"""Baseline suppression: accept today's findings, gate tomorrow's.
+
+The baseline file maps finding fingerprints (rule + path + message —
+line-independent, see :meth:`repro.analysis.findings.Finding.fingerprint`)
+to an occurrence count plus human-readable context.  ``--baseline FILE``
+subtracts baselined findings from the report; ``--write-baseline FILE``
+records the current findings.  The file is JSON with sorted keys so
+regenerating it produces a minimal diff.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Suppression counts keyed by fingerprint."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+    context: dict[str, dict] = field(default_factory=dict)
+
+    def apply(self, findings: list[Finding]) -> tuple[list[Finding], int]:
+        """Partition into (unsuppressed, n_suppressed).
+
+        Each fingerprint suppresses at most its recorded count, so a
+        *new* duplicate of a baselined finding still surfaces.
+        """
+        remaining = dict(self.counts)
+        kept: list[Finding] = []
+        suppressed = 0
+        for finding in findings:
+            fp = finding.fingerprint()
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+                suppressed += 1
+            else:
+                kept.append(finding)
+        return kept, suppressed
+
+    def as_dict(self) -> dict:
+        suppressions = {}
+        for fp in sorted(self.counts):
+            entry = dict(self.context.get(fp, {}))
+            entry["count"] = self.counts[fp]
+            suppressions[fp] = entry
+        return {"version": BASELINE_VERSION, "suppressions": suppressions}
+
+
+def baseline_from_findings(findings: list[Finding]) -> Baseline:
+    baseline = Baseline()
+    for finding in findings:
+        fp = finding.fingerprint()
+        baseline.counts[fp] = baseline.counts.get(fp, 0) + 1
+        baseline.context.setdefault(
+            fp,
+            {"rule": finding.rule, "path": finding.path, "message": finding.message},
+        )
+    return baseline
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    p = Path(path)
+    if not p.exists():
+        return Baseline()
+    doc = json.loads(p.read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline file {p} (want version {BASELINE_VERSION})")
+    baseline = Baseline()
+    for fp, entry in (doc.get("suppressions") or {}).items():
+        if isinstance(entry, dict):
+            count = int(entry.get("count", 1))
+            context = {k: v for k, v in entry.items() if k != "count"}
+        else:  # bare count form
+            count = int(entry)
+            context = {}
+        if count > 0:
+            baseline.counts[fp] = count
+            if context:
+                baseline.context[fp] = context
+    return baseline
+
+
+def write_baseline(baseline: Baseline, path: str | Path) -> None:
+    text = json.dumps(baseline.as_dict(), indent=2, sort_keys=True) + "\n"
+    Path(path).write_text(text, encoding="utf-8")

@@ -1,0 +1,172 @@
+"""The repro-lint command line.
+
+``python -m repro.analysis [--strict] [--format json|text]
+[--baseline FILE] [--write-baseline FILE] [--list-rules] [DIRS...]``
+
+Exit codes: 0 — clean (errors gate by default; ``--strict`` gates
+warnings too); 1 — at least one gating finding survived baseline and
+inline suppression; 2 — usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import baseline_from_findings, load_baseline, write_baseline
+from repro.analysis.engine import DEFAULT_DIRS, AnalysisConfig, run_analysis
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import all_rules
+
+REPORT_VERSION = 1
+
+
+def list_rules_text() -> str:
+    """The rule inventory, rendered with the same table renderer as the
+    telemetry report CLI so tooling output stays visually consistent."""
+    from repro.harness.report import format_table
+
+    rules = all_rules()
+    table = format_table(
+        ["rule", "severity", "scope", "invariant"],
+        [[cls.id, cls.severity, ",".join(cls.dirs), cls.title] for cls in rules],
+        title="repro-lint rules",
+    )
+    sections = [table]
+    for cls in rules:
+        sections.append(
+            f"{cls.id}: {cls.title}\n"
+            f"  why: {cls.rationale}\n"
+            f"  suppress: {cls.suppress_hint}"
+        )
+    return "\n\n".join(sections)
+
+
+def report_dict(
+    project,
+    findings: list[Finding],
+    suppressed: int,
+    strict: bool,
+) -> dict:
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    return {
+        "version": REPORT_VERSION,
+        "strict": strict,
+        "dirs": list(project.config.dirs),
+        "files_scanned": project.files_scanned,
+        "rules": [cls.id for cls in all_rules()],
+        "findings": [f.as_dict() for f in findings],
+        "counts": dict(sorted(counts.items())),
+        "suppressed_baseline": suppressed,
+        "suppressed_inline": project.inline_suppressed,
+    }
+
+
+def _gating(findings: list[Finding], strict: bool) -> list[Finding]:
+    if strict:
+        return findings
+    return [f for f in findings if f.severity == Severity.ERROR]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter for determinism, protocol and "
+        "instrumentation discipline (see --list-rules).",
+    )
+    parser.add_argument(
+        "dirs",
+        nargs="*",
+        default=None,
+        help=f"top-level directories to scan (default: {' '.join(DEFAULT_DIRS)})",
+    )
+    parser.add_argument("--root", default=".", help="repository root (default: cwd)")
+    parser.add_argument(
+        "--strict", action="store_true", help="warnings gate the exit code too"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    parser.add_argument("--baseline", default=None, help="baseline suppression file")
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to FILE (independent of --format)",
+    )
+    parser.add_argument("--design", default=None, help="DESIGN.md path (schema rules)")
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule inventory and exit"
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+
+    if args.list_rules:
+        print(list_rules_text())
+        return 0
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"error: root {root} is not a directory", file=sys.stderr)
+        return 2
+    config = AnalysisConfig(
+        root=root,
+        dirs=tuple(args.dirs) if args.dirs else DEFAULT_DIRS,
+        design_path=Path(args.design) if args.design else None,
+        rule_ids=tuple(args.rules.split(",")) if args.rules else None,
+    )
+    project = run_analysis(config)
+    findings = project.findings
+
+    suppressed = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed = baseline.apply(findings)
+
+    if args.write_baseline:
+        write_baseline(baseline_from_findings(findings), args.write_baseline)
+        print(f"baseline with {len(findings)} finding(s) written to {args.write_baseline}")
+        return 0
+
+    doc = report_dict(project, findings, suppressed, args.strict)
+    if args.format == "json":
+        rendered = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    else:
+        lines = [f.render() for f in findings]
+        gating = _gating(findings, args.strict)
+        lines.append(
+            f"repro-lint: {project.files_scanned} files, "
+            f"{len(findings)} finding(s) ({len(gating)} gating), "
+            f"{suppressed} baselined, {project.inline_suppressed} inline-suppressed"
+        )
+        rendered = "\n".join(lines) + "\n"
+    sys.stdout.write(rendered)
+    if args.output:
+        json_doc = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        Path(args.output).write_text(json_doc, encoding="utf-8")
+    return 1 if _gating(findings, args.strict) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -1,0 +1,358 @@
+"""Schema-sync rules: metric and trace name inventories vs DESIGN.md.
+
+TEL001 extracts every ``env.telemetry.counter/gauge/histogram("name",
+…)`` call site and diffs the names against the DESIGN.md "Metric
+schema" table, both directions.  TRC001 does the same for
+``*.emit("kind", …)`` trace emissions against the authoritative
+``KINDS`` tuple in ``repro.observability.tracer`` *and* the DESIGN.md
+"Trace schema" table.  Either direction of drift silently invalidates
+the documented observability contract the experiments (and downstream
+dashboards) rely on — exactly the hook-discipline failure mode Khaos
+attributes checkpoint corruption to.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import ast
+
+from repro.analysis.engine import ModuleContext, const_str, receiver_tail
+from repro.analysis.findings import Severity
+from repro.analysis.registry import Rule, register
+
+# Receiver tails that identify the metric registry / tracer handle at a
+# call site (``env.telemetry.counter``, ``telem.histogram``,
+# ``self._telem.counter``, ``self.registry.gauge`` ...).
+TELEMETRY_RECEIVERS = frozenset({"telemetry", "telem", "_telem", "registry", "_registry"})
+TRACER_RECEIVERS = frozenset({"trace", "tracer", "_trace", "_tracer"})
+
+METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+_METRIC_NAME_RE = re.compile(r"`(ms_[a-z0-9_]+)`")
+_BACKTICK_RE = re.compile(r"`([^`]+)`")
+_KIND_SUFFIX_RE = re.compile(r"^[a-z_]+(\.[a-z_]+)*$")
+
+
+@dataclass
+class Site:
+    relpath: str
+    line: int
+    col: int
+
+
+def parse_metric_schema(text: str) -> dict[str, int]:
+    """``{metric_name: design_lineno}`` from the "Metric schema" table.
+
+    Only the first table cell of each row is read, so backticked label
+    names and module paths in later cells never count as metrics.
+    """
+    documented: dict[str, int] = {}
+    in_section = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.startswith("## "):
+            in_section = "metric schema" in line.lower()
+            continue
+        if not in_section or not line.lstrip().startswith("|"):
+            continue
+        cells = line.split("|")
+        first = cells[1] if len(cells) > 1 else ""
+        for m in _METRIC_NAME_RE.finditer(first):
+            documented.setdefault(m.group(1), lineno)
+    return documented
+
+
+def parse_trace_schema(text: str) -> tuple[dict[str, int], set[str]]:
+    """``({kind: design_lineno}, dynamic_prefixes)`` from the "Trace
+    schema" table.
+
+    Each row is ``| `prefix.` | `event`, `event` ... |``; a kind is
+    prefix + event.  Backticked tokens that are not lowercase dotted
+    words (e.g. ``MetricsHub.record_event``) are prose, and a prefix row
+    with no valid event tokens declares a dynamic namespace (kinds under
+    it are forwarded verbatim and cannot be enumerated).
+    """
+    kinds: dict[str, int] = {}
+    dynamic: set[str] = set()
+    in_section = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.startswith("## "):
+            in_section = "trace schema" in line.lower()
+            continue
+        if not in_section or not line.lstrip().startswith("|"):
+            continue
+        cells = line.split("|")
+        if len(cells) < 3:
+            continue
+        prefix_m = _BACKTICK_RE.search(cells[1])
+        if prefix_m is None or not prefix_m.group(1).endswith("."):
+            continue
+        prefix = prefix_m.group(1)
+        events = [
+            tok
+            for tok in _BACKTICK_RE.findall(cells[2])
+            if _KIND_SUFFIX_RE.match(tok)
+        ]
+        if not events:
+            dynamic.add(prefix)
+            continue
+        for tok in events:
+            kinds.setdefault(prefix + tok, lineno)
+    return kinds, dynamic
+
+
+@register
+class MetricSchemaRule(Rule):
+    """TEL001 — telemetry names match the DESIGN.md metric schema."""
+
+    id = "TEL001"
+    title = "metric names stay in sync with the DESIGN.md metric schema"
+    rationale = (
+        "the snapshot/Prometheus exports are consumed by name; an "
+        "undocumented emission is an untracked schema change and a "
+        "documented-but-dead name means dashboards and regression "
+        "checks silently read zeros"
+    )
+    severity = Severity.ERROR
+    node_types = (ast.Call,)
+
+    def __init__(self) -> None:
+        self._emitted: dict[str, list[Site]] = {}
+
+    def visit(self, ctx: ModuleContext, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in METRIC_FACTORIES:
+            return
+        if receiver_tail(func) not in TELEMETRY_RECEIVERS:
+            return
+        if not node.args:
+            return
+        name = const_str(node.args[0])
+        if name is None:
+            ctx.report(
+                self,
+                node,
+                f"dynamic metric name `{ast.unparse(node.args[0])}` — metric names "
+                "must be string literals so the schema inventory stays checkable",
+            )
+            return
+        self._emitted.setdefault(name, []).append(
+            Site(ctx.relpath, node.lineno, node.col_offset + 1)
+        )
+
+    def finalize(self, project) -> None:
+        if not self._emitted and project.design_text() is None:
+            return
+        text = project.design_text()
+        if text is None:
+            # emissions exist but there is no schema to check against
+            site = min(
+                (s for sites in self._emitted.values() for s in sites),
+                key=lambda s: (s.relpath, s.line),
+            )
+            project.report(
+                self,
+                path=site.relpath,
+                line=site.line,
+                col=site.col,
+                message="telemetry is emitted but DESIGN.md (metric schema) was not found",
+                severity=Severity.WARNING,
+            )
+            return
+        documented = parse_metric_schema(text)
+        design = project.design_relpath()
+        for name in sorted(set(self._emitted) - set(documented)):
+            site = min(self._emitted[name], key=lambda s: (s.relpath, s.line))
+            project.report(
+                self,
+                path=site.relpath,
+                line=site.line,
+                col=site.col,
+                message=(
+                    f"metric `{name}` is emitted but not documented in the "
+                    "DESIGN.md metric-schema table"
+                ),
+            )
+        for name in sorted(set(documented) - set(self._emitted)):
+            project.report(
+                self,
+                path=design,
+                line=documented[name],
+                col=1,
+                message=f"metric `{name}` is documented in DESIGN.md but never emitted",
+            )
+
+
+@dataclass
+class _KindsDecl:
+    relpath: str
+    lines: dict[str, int] = field(default_factory=dict)  # kind -> lineno
+    lineno: int = 0
+
+
+@register
+class TraceSchemaRule(Rule):
+    """TRC001 — trace kinds match KINDS and the DESIGN.md trace schema."""
+
+    id = "TRC001"
+    title = "trace kinds stay in sync with tracer.KINDS and DESIGN.md"
+    rationale = (
+        "KINDS is the authoritative trace vocabulary; an emitted kind "
+        "missing from it is schema drift the exporter consumers cannot "
+        "see coming, a declared-but-dead kind is documentation rot, and "
+        "the DESIGN.md table must mirror KINDS in both directions"
+    )
+    severity = Severity.ERROR
+    node_types = (ast.Call, ast.Assign)
+
+    def __init__(self) -> None:
+        self._emitted: dict[str, list[Site]] = {}
+        self._dynamic_sites: dict[str, list[Site]] = {}  # constant prefix -> sites
+        self._kinds: _KindsDecl | None = None
+
+    def visit(self, ctx: ModuleContext, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign):
+            self._visit_assign(ctx, node)
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != "emit":
+            return
+        if receiver_tail(func) not in TRACER_RECEIVERS:
+            return
+        if not node.args:
+            return
+        arg = node.args[0]
+        kind = const_str(arg)
+        site = Site(ctx.relpath, node.lineno, node.col_offset + 1)
+        if kind is not None:
+            self._emitted.setdefault(kind, []).append(site)
+            return
+        prefix = self._leading_prefix(arg)
+        if prefix is not None:
+            self._dynamic_sites.setdefault(prefix, []).append(site)
+        else:
+            ctx.report(
+                self,
+                node,
+                f"dynamic trace kind `{ast.unparse(arg)}` without a constant "
+                "dotted prefix — kinds must be statically enumerable",
+            )
+
+    @staticmethod
+    def _leading_prefix(arg: ast.AST) -> str | None:
+        """The constant ``"prefix." + ...`` head of a dynamic kind."""
+        head: str | None = None
+        if isinstance(arg, ast.BinOp) and isinstance(arg.op, ast.Add):
+            head = const_str(arg.left)
+        elif isinstance(arg, ast.JoinedStr) and arg.values:
+            head = const_str(arg.values[0])
+        if head is not None and "." in head:
+            return head[: head.rindex(".") + 1]
+        return None
+
+    def _visit_assign(self, ctx: ModuleContext, node: ast.Assign) -> None:
+        if len(node.targets) != 1:
+            return
+        target = node.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == "KINDS"):
+            return
+        if not isinstance(node.value, (ast.Tuple, ast.List)):
+            return
+        decl = _KindsDecl(relpath=ctx.relpath, lineno=node.lineno)
+        for elt in node.value.elts:
+            kind = const_str(elt)
+            if kind is not None:
+                decl.lines[kind] = elt.lineno
+        if self._kinds is None:
+            self._kinds = decl
+
+    def finalize(self, project) -> None:
+        text = project.design_text()
+        documented: dict[str, int] = {}
+        dynamic_prefixes: set[str] = set()
+        if text is not None:
+            documented, dynamic_prefixes = parse_trace_schema(text)
+        design = project.design_relpath()
+        declared = self._kinds.lines if self._kinds is not None else None
+
+        def is_dynamic(kind: str) -> bool:
+            return any(kind.startswith(p) for p in dynamic_prefixes)
+
+        if declared is not None:
+            for kind in sorted(set(self._emitted) - set(declared)):
+                site = min(self._emitted[kind], key=lambda s: (s.relpath, s.line))
+                project.report(
+                    self,
+                    path=site.relpath,
+                    line=site.line,
+                    col=site.col,
+                    message=f"trace kind `{kind}` is emitted but not declared in KINDS",
+                )
+            for kind in sorted(set(declared) - set(self._emitted)):
+                if is_dynamic(kind):
+                    continue
+                project.report(
+                    self,
+                    path=self._kinds.relpath,
+                    line=declared[kind],
+                    col=1,
+                    message=f"trace kind `{kind}` is declared in KINDS but never emitted",
+                )
+        authoritative = declared if declared is not None else {
+            k: 0 for k in self._emitted
+        }
+        if text is None or (not documented and not authoritative):
+            return
+        auth_path = self._kinds.relpath if self._kinds is not None else None
+        for kind in sorted(set(authoritative) - set(documented)):
+            if is_dynamic(kind):
+                continue
+            if auth_path is not None:
+                path, line = auth_path, authoritative[kind]
+            else:
+                site = min(self._emitted[kind], key=lambda s: (s.relpath, s.line))
+                path, line = site.relpath, site.line
+            project.report(
+                self,
+                path=path,
+                line=line,
+                col=1,
+                message=(
+                    f"trace kind `{kind}` is not documented in the DESIGN.md "
+                    "trace-schema table"
+                ),
+            )
+        for kind in sorted(set(documented) - set(authoritative)):
+            project.report(
+                self,
+                path=design,
+                line=documented[kind],
+                col=1,
+                message=(
+                    f"trace kind `{kind}` is documented in DESIGN.md but "
+                    + ("not declared in KINDS" if declared is not None else "never emitted")
+                ),
+            )
+        # A dynamic emission under a prefix DESIGN.md does not declare
+        # dynamic is drift too.
+        for prefix in sorted(set(self._dynamic_sites) - dynamic_prefixes):
+            site = min(self._dynamic_sites[prefix], key=lambda s: (s.relpath, s.line))
+            project.report(
+                self,
+                path=site.relpath,
+                line=site.line,
+                col=site.col,
+                message=(
+                    f"dynamic trace kinds under prefix `{prefix}` are emitted but "
+                    "DESIGN.md does not declare that namespace as dynamic"
+                ),
+            )
+
+
+__all__ = [
+    "MetricSchemaRule",
+    "TraceSchemaRule",
+    "parse_metric_schema",
+    "parse_trace_schema",
+]

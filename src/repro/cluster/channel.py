@@ -14,8 +14,9 @@ the sender's NIC egress pipe so concurrent streams from one node contend.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any
 
 from repro.cluster.node import Node
 from repro.simulation.core import Environment, Event, Interrupt

@@ -7,7 +7,8 @@ the failure instant) and breaks every channel touching it.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 from repro.simulation.core import Environment, Process
 from repro.simulation.resources import Resource
@@ -108,7 +109,7 @@ class Node:
         self,
         env: Environment,
         node_id: str,
-        rack: Optional[str] = None,
+        rack: str | None = None,
         cores: int = DEFAULT_CORES,
         nic_bw: float = DEFAULT_NIC_BW,
         disk_bw: float = DEFAULT_DISK_BW,
@@ -121,7 +122,7 @@ class Node:
         self.nic_out = BandwidthPipe(env, nic_bw, name=f"{node_id}.nic")
         self.disk = BandwidthPipe(env, disk_bw, per_op_latency=disk_seek, name=f"{node_id}.disk")
         self.alive = True
-        self.failed_at: Optional[float] = None
+        self.failed_at: float | None = None
         self._processes: list[Process] = []
         self._on_fail: list[Callable[["Node"], None]] = []
 

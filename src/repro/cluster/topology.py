@@ -10,8 +10,8 @@ healthy nodes").
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Iterator, Optional
 
 from repro.cluster.channel import Channel, DEFAULT_LATENCY
 from repro.cluster.node import (
@@ -66,7 +66,7 @@ class Rack:
 class DataCenter:
     """Nodes + racks + storage node + spare pool + channel factory."""
 
-    def __init__(self, env: Environment, spec: Optional[ClusterSpec] = None):
+    def __init__(self, env: Environment, spec: ClusterSpec | None = None):
         self.env = env
         self.spec = spec or ClusterSpec()
         self.racks: list[Rack] = [Rack(f"rack{i}") for i in range(self.spec.racks)]

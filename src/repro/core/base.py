@@ -11,7 +11,6 @@ a round is executed (token cascade vs broadcast; sync vs async) and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.core.costs import CostModel
 from repro.core.preservation import SourcePreserver
@@ -49,20 +48,20 @@ class MeteorShowerBase(CheckpointScheme):
 
     def __init__(
         self,
-        checkpoint_times: Optional[list[float]] = None,
-        costs: Optional[CostModel] = None,
+        checkpoint_times: list[float] | None = None,
+        costs: CostModel | None = None,
         enable_recovery: bool = False,
     ):
         super().__init__()
         self.checkpoint_times = sorted(checkpoint_times or [])
         self.costs = costs or CostModel()
         self.enable_recovery = enable_recovery
-        self.preserver: Optional[SourcePreserver] = None
+        self.preserver: SourcePreserver | None = None
         self.rounds: dict[tuple[str, int], RoundState] = {}
         self.logs: dict[int, CheckpointLog] = {}
         self.completed_rounds: dict[int, dict[str, int]] = {}  # round -> hau -> version
         self.source_markers: dict[tuple[int, str], int] = {}  # (round, src) -> emitted_count
-        self.recovery: Optional[GlobalRecovery] = None
+        self.recovery: GlobalRecovery | None = None
         self.recoveries: list = []
         self._round_counter = 0
         self._recovering = False
@@ -125,7 +124,7 @@ class MeteorShowerBase(CheckpointScheme):
             self.logs[round_id] = log
         return log
 
-    def active_state(self, hau_id: str) -> Optional[RoundState]:
+    def active_state(self, hau_id: str) -> RoundState | None:
         """The HAU's most recent round that has not yet snapshotted."""
         best = None
         for (hid, rid), st in self.rounds.items():
@@ -144,7 +143,7 @@ class MeteorShowerBase(CheckpointScheme):
         hau: HAURuntime,
         payload: dict,
         bd: CheckpointBreakdown,
-        billed_size: Optional[int] = None,
+        billed_size: int | None = None,
     ):
         """Process generator: ship the individual checkpoint to storage.
 
@@ -227,7 +226,7 @@ class MeteorShowerBase(CheckpointScheme):
         if hau.is_source:
             self.source_markers[(round_id, hau.hau_id)] = hau.source_operator.emitted_count
 
-    def last_complete_round(self) -> Optional[tuple[int, dict[str, int]]]:
+    def last_complete_round(self) -> tuple[int, dict[str, int]] | None:
         complete = [
             (rid, versions)
             for rid, versions in self.completed_rounds.items()

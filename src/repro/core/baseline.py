@@ -19,7 +19,6 @@ motivates Meteor Shower (reported, not hidden).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.costs import CostModel
 from repro.core.preservation import InputPreserver
@@ -40,8 +39,8 @@ class BaselineScheme(CheckpointScheme):
 
     def __init__(
         self,
-        checkpoint_period: Optional[float] = None,
-        costs: Optional[CostModel] = None,
+        checkpoint_period: float | None = None,
+        costs: CostModel | None = None,
         buffer_bytes: int = DEFAULT_BUFFER_BYTES,
         enable_recovery: bool = False,
         start_after: float = 0.0,

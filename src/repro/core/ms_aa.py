@@ -20,7 +20,6 @@ Adds checkpoint *timing* intelligence on top of MS-src+ap:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.core.ms_ap import MSSrcAP
 from repro.simulation.core import AnyOf, Interrupt
@@ -51,7 +50,7 @@ class MSSrcAPAA(MSSrcAP):
         checkpoint_period: float,
         profile_duration: float = 60.0,
         sample_interval: float = DEFAULT_SAMPLE_INTERVAL,
-        max_rounds: Optional[int] = None,
+        max_rounds: int | None = None,
         min_dynamic_bytes: float = 1_000_000.0,
         profile_startup_skip: float = 0.25,
         **kwargs,
@@ -63,9 +62,9 @@ class MSSrcAPAA(MSSrcAP):
         self.max_rounds = max_rounds
         self.min_dynamic_bytes = float(min_dynamic_bytes)
         self.profile_startup_skip = float(profile_startup_skip)
-        self.profile_result: Optional[ProfileResult] = None
+        self.profile_result: ProfileResult | None = None
         self.dynamic_haus: list[str] = []
-        self._reports: Optional[Store] = None
+        self._reports: Store | None = None
         self._last_icr: dict[str, float] = {}
         self._last_max: dict[str, float] = {}
         # controller's view per HAU: (report time, size at that time).

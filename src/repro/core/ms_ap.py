@@ -21,7 +21,6 @@ and fork, and the received-but-unprocessed pre-token input backlog.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.base import MeteorShowerBase, RoundState
 from repro.core.delta import DeltaPolicy, DeltaTracker
@@ -34,7 +33,7 @@ from repro.simulation.core import Interrupt
 class MSSrcAP(MeteorShowerBase):
     name = "ms-src+ap"
 
-    def __init__(self, *args, delta: Optional[DeltaPolicy] = None, **kwargs):
+    def __init__(self, *args, delta: DeltaPolicy | None = None, **kwargs):
         super().__init__(*args, **kwargs)
         self._cow_active: dict[str, int] = {}  # hau_id -> live child count
         self.delta = DeltaTracker(delta) if delta is not None else None

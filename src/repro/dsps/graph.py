@@ -10,8 +10,8 @@ optional routing mode for fan-out groups (broadcast vs key-hash, e.g.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 import networkx as nx
 

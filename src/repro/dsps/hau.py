@@ -25,7 +25,7 @@ scheme-agnostic.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Optional
+from typing import Any
 
 from repro.cluster.channel import Channel, ChannelClosedError
 from repro.cluster.node import Node
@@ -113,7 +113,7 @@ class HAURuntime:
         rng,
         metrics=None,
         inbox_capacity: int = DEFAULT_INBOX_CAPACITY,
-        restored: Optional[dict] = None,
+        restored: dict | None = None,
     ):
         self.env = env
         self.spec = spec
@@ -148,7 +148,7 @@ class HAURuntime:
 
         self.in_edges = list(in_edges)
         self.out_edges = list(out_edges)
-        self.in_channels: list[Optional[Channel]] = [None] * len(self.in_edges)
+        self.in_channels: list[Channel | None] = [None] * len(self.in_edges)
         self.out_channels: dict[str, Channel] = {}  # edge_id -> channel
         self._out_seq: dict[str, int] = {e.edge_id: 0 for e in self.out_edges}
 
@@ -166,7 +166,7 @@ class HAURuntime:
 
         self.tuples_processed = 0
         self.busy_time = 0.0
-        self.control_outbox: Optional[Channel] = None  # to controller
+        self.control_outbox: Channel | None = None  # to controller
         self._procs = []
 
         if restored:
@@ -252,7 +252,7 @@ class HAURuntime:
     def build_checkpoint_payload(
         self,
         round_id: int,
-        extra_out: Optional[list[tuple[str, DataTuple]]] = None,
+        extra_out: list[tuple[str, DataTuple]] | None = None,
         include_backlog: bool = True,
     ) -> dict:
         """The individual checkpoint: operator snapshots + saved tuples.

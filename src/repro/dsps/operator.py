@@ -14,9 +14,10 @@ regenerate post-token tuples.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
 import copy
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Optional
+from typing import Any
 
 import numpy as np
 
@@ -31,7 +32,7 @@ class Emit:
     payload: Any
     size: int
     port: int = 0
-    key: Optional[Any] = None
+    key: Any | None = None
 
 
 @dataclass
@@ -65,7 +66,7 @@ class Operator:
 
     def __init__(self, name: str = ""):
         self.name = name or type(self).__name__
-        self.ctx: Optional[OperatorContext] = None
+        self.ctx: OperatorContext | None = None
 
     # -- lifecycle -------------------------------------------------------------
     def setup(self, ctx: OperatorContext) -> None:
@@ -146,7 +147,7 @@ class SinkOperator(Operator):
 class StatelessMapOperator(Operator):
     """Convenience: a stateless 1-in/1-out transform (used in tests)."""
 
-    def __init__(self, fn: Callable[[Any], Any], out_size: Optional[int] = None, name: str = ""):
+    def __init__(self, fn: Callable[[Any], Any], out_size: int | None = None, name: str = ""):
         super().__init__(name)
         self.fn = fn
         self.out_size = out_size

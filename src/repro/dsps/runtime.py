@@ -11,7 +11,7 @@ manager uses to restart HAUs on spare nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any
 
 from repro.cluster.channel import Channel
 from repro.cluster.node import Node
@@ -33,7 +33,7 @@ class RuntimeConfig:
     """Knobs of a simulated deployment."""
 
     seed: int = 0
-    cluster: Optional[ClusterSpec] = None
+    cluster: ClusterSpec | None = None
     channel_capacity: int = DEFAULT_CHANNEL_CAPACITY
     inbox_capacity: int = DEFAULT_INBOX_CAPACITY
 
@@ -44,7 +44,7 @@ class CheckpointScheme(SchemeHooks):
     name = "none"
 
     def __init__(self):
-        self.runtime: Optional["DSPSRuntime"] = None
+        self.runtime: "DSPSRuntime" | None = None
 
     def attach(self, runtime: "DSPSRuntime") -> None:
         self.runtime = runtime
@@ -71,7 +71,7 @@ class DSPSRuntime:
         env: Environment,
         app: StreamApplication,
         scheme: CheckpointScheme,
-        config: Optional[RuntimeConfig] = None,
+        config: RuntimeConfig | None = None,
     ):
         self.env = env
         self.app = app
@@ -108,7 +108,7 @@ class DSPSRuntime:
             self._wire_control(hau_id)
         self._built = True
 
-    def _make_hau(self, hau_id: str, node: Node, restored: Optional[dict]) -> HAURuntime:
+    def _make_hau(self, hau_id: str, node: Node, restored: dict | None) -> HAURuntime:
         graph = self.app.graph
         hau = HAURuntime(
             env=self.env,
@@ -215,7 +215,7 @@ class DSPSRuntime:
     def rewire(
         self,
         assignments: dict[str, Node],
-        restored: dict[str, Optional[dict]],
+        restored: dict[str, dict | None],
     ) -> None:
         """Recreate every HAU runtime (possibly on new nodes) from snapshots.
 
@@ -242,7 +242,7 @@ class DSPSRuntime:
         self,
         hau_id: str,
         node: Node,
-        restored: Optional[dict],
+        restored: dict | None,
         attach_upstream: bool = True,
     ) -> tuple[HAURuntime, list[tuple[EdgeSpec, Channel]]]:
         """Recreate one HAU on ``node`` and re-wire just its channels.

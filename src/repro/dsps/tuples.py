@@ -9,7 +9,7 @@ tuples, which is what gives it its stream-boundary meaning.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Union
+from typing import Any
 
 TOKEN_SIZE = 64  # bytes on the wire: "incurs very small overhead"
 
@@ -28,7 +28,7 @@ class DataTuple:
 
     payload: Any
     size: int
-    key: Optional[Any] = None
+    key: Any | None = None
     created_at: float = 0.0
     seq: int = 0
     source: str = ""
@@ -60,7 +60,7 @@ class Token:
     size: int = field(default=TOKEN_SIZE, compare=False)
 
 
-StreamItem = Union[DataTuple, Token]
+StreamItem = DataTuple | Token
 
 
 def is_token(item: StreamItem) -> bool:

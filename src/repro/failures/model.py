@@ -19,7 +19,6 @@ Table I.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -45,7 +44,7 @@ class FailureSource:
     category: str
     events_per_year: float
     victims: int = 1
-    victims_fraction: Optional[float] = None
+    victims_fraction: float | None = None
     per_node: bool = False
     correlated: bool = False
     counts_in_table: bool = True
@@ -125,7 +124,7 @@ ABE_CLUSTER = ClusterProfile(name="Abe Cluster", nodes=1200, racks=19,
 class ClusterFailureModel:
     """Samples failure events for a cluster profile and derives Table I."""
 
-    def __init__(self, profile: ClusterProfile, rng: Optional[np.random.Generator] = None):
+    def __init__(self, profile: ClusterProfile, rng: np.random.Generator | None = None):
         self.profile = profile
         self.rng = rng or np.random.default_rng(0)
 

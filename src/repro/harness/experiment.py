@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from repro.apps import APPS
 from repro.cluster.topology import ClusterSpec
@@ -54,9 +54,9 @@ class ExperimentConfig:
     spares: int = 60  # enough for the worst-case (whole-app) restart
     racks: int = 4
     app_params: dict[str, Any] = field(default_factory=dict)
-    oracle_times: Optional[list[float]] = None
+    oracle_times: list[float] | None = None
     enable_recovery: bool = False
-    costs: Optional[CostModel] = None
+    costs: CostModel | None = None
 
     def __post_init__(self):
         if self.app not in APPS:
@@ -86,10 +86,10 @@ class ExperimentResult:
     latency: float
     scheme: CheckpointScheme
     runtime: DSPSRuntime
-    state_trace: Optional["StateTraceRecorder"] = None
-    tracer: Optional[Tracer] = None
-    telemetry: Optional[MetricRegistry] = None
-    telemetry_sampler: Optional[Sampler] = None
+    state_trace: "StateTraceRecorder" | None = None
+    tracer: Tracer | None = None
+    telemetry: MetricRegistry | None = None
+    telemetry_sampler: Sampler | None = None
     latency_percentiles: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -235,8 +235,8 @@ class StateTraceRecorder:
 def run_experiment(
     cfg: ExperimentConfig,
     trace_state: bool = False,
-    failure_at: Optional[float] = None,
-    failure_targets: Optional[list[str]] = None,
+    failure_at: float | None = None,
+    failure_targets: list[str] | None = None,
     trace: bool = False,
     telemetry: bool = False,
     telemetry_interval: float = 1.0,

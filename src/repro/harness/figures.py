@@ -8,7 +8,7 @@ and returns plain data structures; the benchmarks print them via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 import numpy as np
 
@@ -57,7 +57,7 @@ def table1_failure_model(seed: int = 0, samples: int = 5) -> dict[str, Any]:
 
 
 def fig5_state_traces(
-    apps: Optional[list[str]] = None,
+    apps: list[str] | None = None,
     window: float = DEFAULT_WINDOW,
     warmup: float = DEFAULT_WARMUP,
     seed: int = 1,
@@ -116,7 +116,7 @@ class SweepResult:
 
     cells: list[SweepCell] = field(default_factory=list)
 
-    def cell(self, app: str, scheme: str, n: int) -> Optional[SweepCell]:
+    def cell(self, app: str, scheme: str, n: int) -> SweepCell | None:
         """The cell for (app, scheme, n), or None if it was not swept."""
         for c in self.cells:
             if (c.app, c.scheme, c.n_checkpoints) == (app, scheme, n):
@@ -151,9 +151,9 @@ class SweepResult:
 
 
 def fig12_fig13_sweep(
-    apps: Optional[list[str]] = None,
-    checkpoint_counts: Optional[list[int]] = None,
-    schemes: Optional[list[str]] = None,
+    apps: list[str] | None = None,
+    checkpoint_counts: list[int] | None = None,
+    schemes: list[str] | None = None,
     window: float = DEFAULT_WINDOW,
     warmup: float = DEFAULT_WARMUP,
     seed: int = 1,
@@ -203,7 +203,7 @@ def fig12_fig13_sweep(
     return result
 
 
-def headline_numbers(sweep: SweepResult, apps: Optional[list[str]] = None) -> dict[str, float]:
+def headline_numbers(sweep: SweepResult, apps: list[str] | None = None) -> dict[str, float]:
     """The paper's §I claims, derived from the sweep.
 
     * source preservation: MS-src vs baseline at 0 checkpoints
@@ -238,7 +238,7 @@ def headline_numbers(sweep: SweepResult, apps: Optional[list[str]] = None) -> di
 
 
 def fig14_checkpoint_time(
-    apps: Optional[list[str]] = None,
+    apps: list[str] | None = None,
     window: float = DEFAULT_WINDOW,
     warmup: float = DEFAULT_WARMUP,
     seed: int = 1,
@@ -314,7 +314,7 @@ def fig15_instantaneous_latency(
 
 
 def fig16_recovery_time(
-    apps: Optional[list[str]] = None,
+    apps: list[str] | None = None,
     window: float = DEFAULT_WINDOW,
     warmup: float = DEFAULT_WARMUP,
     seed: int = 1,

@@ -11,7 +11,6 @@ creation).  Recovery time splits into *disk I/O* (reading state),
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 
 @dataclass
@@ -61,7 +60,7 @@ class CheckpointBreakdown:
             and self.write_end_at >= self.write_start_at > 0.0
         )
 
-    def spans(self) -> dict[str, Optional[float]]:
+    def spans(self) -> dict[str, float | None]:
         """Phase durations with ``None`` for phases never reached.
 
         Unlike the clamped properties, an interrupted checkpoint shows up
@@ -87,7 +86,7 @@ class CheckpointLog:
     round_id: int
     started_at: float
     haus: dict[str, CheckpointBreakdown] = field(default_factory=dict)
-    completed_at: Optional[float] = None
+    completed_at: float | None = None
 
     def breakdown(self, hau_id: str) -> CheckpointBreakdown:
         bd = self.haus.get(hau_id)
@@ -108,7 +107,7 @@ class CheckpointLog:
         """
         return sorted(h for h, b in self.haus.items() if not b.complete)
 
-    def slowest(self) -> Optional[CheckpointBreakdown]:
+    def slowest(self) -> CheckpointBreakdown | None:
         """The slowest individual checkpoint (the §IV-B measurement for
         MS-src+ap/+aa, where individual checkpoints run in parallel)."""
         done = [b for b in self.haus.values() if b.write_end_at > 0]

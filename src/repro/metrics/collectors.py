@@ -10,7 +10,6 @@ full arrival-time series at the sinks, binnable around any instant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.observability.tracer import ensure_tracer
 from repro.telemetry.quantile import exact_percentile
@@ -68,7 +67,7 @@ class MetricsHub:
         self.stage_samples.append((hau_id, created_at, processed_at))
 
     # -- probe-stage metrics ---------------------------------------------------------
-    def _probe(self, probe_prefix: str, start: float, end: Optional[float]):
+    def _probe(self, probe_prefix: str, start: float, end: float | None):
         for hau_id, created, done in self.stage_samples:
             if not hau_id.startswith(probe_prefix):
                 continue
@@ -76,12 +75,12 @@ class MetricsHub:
                 yield created, done
 
     def stage_throughput(
-        self, probe_prefix: str, start: float = 0.0, end: Optional[float] = None
+        self, probe_prefix: str, start: float = 0.0, end: float | None = None
     ) -> int:
         return sum(1 for _ in self._probe(probe_prefix, start, end))
 
     def stage_latency(
-        self, probe_prefix: str, start: float = 0.0, end: Optional[float] = None
+        self, probe_prefix: str, start: float = 0.0, end: float | None = None
     ) -> float:
         lats = [done - created for created, done in self._probe(probe_prefix, start, end)]
         return sum(lats) / len(lats) if lats else 0.0
@@ -90,7 +89,7 @@ class MetricsHub:
         self,
         probe_prefix: str,
         start: float = 0.0,
-        end: Optional[float] = None,
+        end: float | None = None,
         percentiles: tuple[float, ...] = DEFAULT_LATENCY_PERCENTILES,
     ) -> dict[str, float]:
         """Exact latency percentiles at the probe stage, e.g.
@@ -99,7 +98,7 @@ class MetricsHub:
         return _percentile_dict(lats, percentiles)
 
     def stage_latency_series(
-        self, probe_prefix: str, start: float = 0.0, end: Optional[float] = None
+        self, probe_prefix: str, start: float = 0.0, end: float | None = None
     ) -> list[tuple[float, float]]:
         return [(done, done - created) for created, done in self._probe(probe_prefix, start, end)]
 
@@ -128,7 +127,7 @@ class MetricsHub:
             self.tracer.emit("metrics." + kind, t=time, subject=detail)
 
     # -- derived metrics -----------------------------------------------------------
-    def throughput(self, start: float = 0.0, end: Optional[float] = None) -> int:
+    def throughput(self, start: float = 0.0, end: float | None = None) -> int:
         """Tuples delivered to sinks in [start, end)."""
         return sum(
             1
@@ -136,7 +135,7 @@ class MetricsHub:
             if s.arrived_at >= start and (end is None or s.arrived_at < end)
         )
 
-    def average_latency(self, start: float = 0.0, end: Optional[float] = None) -> float:
+    def average_latency(self, start: float = 0.0, end: float | None = None) -> float:
         lats = [
             s.latency
             for s in self.sink_samples
@@ -147,7 +146,7 @@ class MetricsHub:
     def latency_percentiles(
         self,
         start: float = 0.0,
-        end: Optional[float] = None,
+        end: float | None = None,
         percentiles: tuple[float, ...] = DEFAULT_LATENCY_PERCENTILES,
     ) -> dict[str, float]:
         """Exact sink-latency percentiles over [start, end), as
@@ -160,7 +159,7 @@ class MetricsHub:
         return _percentile_dict(lats, percentiles)
 
     def latency_series(
-        self, start: float = 0.0, end: Optional[float] = None
+        self, start: float = 0.0, end: float | None = None
     ) -> list[tuple[float, float]]:
         """(arrival time, latency) pairs — instantaneous latency raw data."""
         return [

@@ -9,8 +9,9 @@ tests rely on.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 import json
-from typing import IO, Iterable, Union
+from typing import IO
 
 from repro.observability.tracer import TraceEvent, Tracer, events_of
 
@@ -22,13 +23,13 @@ def event_to_json(event: TraceEvent) -> str:
     return json.dumps(event.as_dict(), **_JSON_KW)
 
 
-def dumps_jsonl(source: Union[Tracer, Iterable[TraceEvent]]) -> str:
+def dumps_jsonl(source: Tracer | Iterable[TraceEvent]) -> str:
     """The whole trace as JSONL text (trailing newline included)."""
     lines = [event_to_json(e) for e in events_of(source)]
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def write_jsonl(source: Union[Tracer, Iterable[TraceEvent]], path: str) -> int:
+def write_jsonl(source: Tracer | Iterable[TraceEvent], path: str) -> int:
     """Write the trace to ``path``; returns the number of events."""
     events = events_of(source)
     with open(path, "w", encoding="utf-8", newline="\n") as fh:
@@ -63,7 +64,7 @@ class JsonlStreamWriter:
 def read_jsonl(path: str) -> list[dict]:
     """Parse a trace file back into plain dicts (for tooling/tests)."""
     out = []
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if line:

@@ -10,13 +10,14 @@ result is a plain dict (JSON-ready) plus a text renderer for humans.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 import json
-from typing import Any, Iterable, Union
+from typing import Any
 
 from repro.observability.tracer import TraceEvent, Tracer, events_of
 
 
-def summarize(source: Union[Tracer, Iterable[TraceEvent]]) -> dict[str, Any]:
+def summarize(source: Tracer | Iterable[TraceEvent]) -> dict[str, Any]:
     """Fold a trace into a JSON-ready summary dict."""
     events = events_of(source)
     summary: dict[str, Any] = {

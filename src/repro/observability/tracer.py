@@ -18,8 +18,9 @@ JSONL form).
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator, Optional
+from typing import Any
 
 # Dotted event kinds emitted by the instrumented layers.  Kept in one
 # place so the schema is discoverable; emission sites may add new kinds
@@ -138,9 +139,9 @@ class Tracer:
     # -- queries -----------------------------------------------------------
     def select(
         self,
-        kind: Optional[str] = None,
-        prefix: Optional[str] = None,
-        subject: Optional[str] = None,
+        kind: str | None = None,
+        prefix: str | None = None,
+        subject: str | None = None,
     ) -> list[TraceEvent]:
         """Events filtered by exact kind, kind prefix and/or subject."""
         out: Iterator[TraceEvent] = iter(self.events)
@@ -176,7 +177,7 @@ class Tracer:
 TracerLike = Any  # Tracer | NullTracer — both satisfy the emit/enabled surface
 
 
-def ensure_tracer(tracer: Optional[TracerLike]) -> TracerLike:
+def ensure_tracer(tracer: TracerLike | None) -> TracerLike:
     """Coerce ``None`` to the shared no-op tracer."""
     return NULL_TRACER if tracer is None else tracer
 

@@ -10,8 +10,9 @@ the reproduction needs and tuned for determinism.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Generator, Iterable
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any
 
 from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.telemetry.registry import NULL_REGISTRY, MetricRegistry
@@ -63,7 +64,7 @@ class Event:
         self.env = env
         self.callbacks: list[Callable[[Event], None]] = []
         self._value: Any = None
-        self._ok: Optional[bool] = None
+        self._ok: bool | None = None
         self._settled = False
         self._scheduled = False
         self._flushed = False
@@ -208,7 +209,7 @@ class Process(Event):
         if not hasattr(generator, "send"):
             raise SimulationError(f"process target {generator!r} is not a generator")
         self._generator = generator
-        self._waiting_on: Optional[Event] = None
+        self._waiting_on: Event | None = None
         self.label = label
         # Bootstrap: resume once at the current instant.
         boot = Event(env, name=f"boot:{label}")
@@ -243,7 +244,7 @@ class Process(Event):
         else:
             self._step(throw=event.value)
 
-    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+    def _step(self, send: Any = None, throw: BaseException | None = None) -> None:
         if self.triggered:
             return
         self.env._active_process = self
@@ -292,7 +293,7 @@ class Environment:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
-        self._active_process: Optional[Process] = None
+        self._active_process: Process | None = None
         # Structured tracing (repro.observability): the no-op default means
         # instrumented hot paths pay one attribute check per emission site.
         self.trace = NULL_TRACER
@@ -300,7 +301,7 @@ class Environment:
         # the shared no-op registry keeps disabled instrumentation free.
         self.telemetry = NULL_REGISTRY
 
-    def enable_tracing(self, tracer: Optional[Tracer] = None) -> Tracer:
+    def enable_tracing(self, tracer: Tracer | None = None) -> Tracer:
         """Attach a :class:`~repro.observability.tracer.Tracer` (a fresh
         one unless given) and return it.  All instrumented layers emit
         through ``env.trace`` from then on."""
@@ -308,7 +309,7 @@ class Environment:
         return self.trace
 
     def enable_telemetry(
-        self, registry: Optional[MetricRegistry] = None
+        self, registry: MetricRegistry | None = None
     ) -> MetricRegistry:
         """Attach a :class:`~repro.telemetry.registry.MetricRegistry` (a
         fresh one unless given) and return it.  Like tracing, enable
@@ -323,7 +324,7 @@ class Environment:
         return self._now
 
     @property
-    def active_process(self) -> Optional[Process]:
+    def active_process(self) -> Process | None:
         return self._active_process
 
     # -- factories ----------------------------------------------------------
@@ -367,7 +368,7 @@ class Environment:
         """Time of the next scheduled event, or +inf if none."""
         return self._heap[0][0] if self._heap else float("inf")
 
-    def run(self, until: Optional[float | Event] = None) -> Any:
+    def run(self, until: float | Event | None = None) -> Any:
         """Run until a time, an event, or schedule exhaustion.
 
         * ``until`` is a number → run until the clock reaches it.

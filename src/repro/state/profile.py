@@ -16,8 +16,8 @@ Implements §III-C2:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Sequence
 
 MIN_RELAXATION = 0.20
 DYNAMIC_RATIO = 0.5  # min < 0.5 * avg  =>  dynamic HAU

@@ -14,8 +14,9 @@ deterministic analogue of the paper's random samples).
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any
 
 DEFAULT_SAMPLES = 3
 
@@ -34,9 +35,9 @@ class StateHint:
       (``// state sample=N``).
     """
 
-    element_size: Optional[int] = None
-    length_fn: Optional[Callable[[Any], int]] = None
-    element_size_fn: Optional[Callable[[Any], int]] = None
+    element_size: int | None = None
+    length_fn: Callable[[Any], int] | None = None
+    element_size_fn: Callable[[Any], int] | None = None
     samples: int = DEFAULT_SAMPLES
 
 

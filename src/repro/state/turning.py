@@ -18,7 +18,6 @@ the new slope.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -48,11 +47,11 @@ class TurningPointDetector:
 
     def __init__(self, tolerance: float = 0.0):
         self.tolerance = float(tolerance)
-        self._prev: Optional[tuple[float, float]] = None
+        self._prev: tuple[float, float] | None = None
         self._direction = 0  # -1 falling, +1 rising, 0 unknown/flat
-        self._candidate: Optional[tuple[float, float]] = None
+        self._candidate: tuple[float, float] | None = None
 
-    def observe(self, time: float, size: float) -> Optional[TurningPoint]:
+    def observe(self, time: float, size: float) -> TurningPoint | None:
         """Feed one sample; returns a turning point if one is revealed."""
         if self._prev is None:
             self._prev = (time, size)
@@ -64,7 +63,7 @@ class TurningPointDetector:
             self._prev = (time, size)
             return None
         new_dir = _direction(size - prev_s, self.tolerance)
-        result: Optional[TurningPoint] = None
+        result: TurningPoint | None = None
         if new_dir != 0 and self._direction != 0 and new_dir != self._direction:
             # the previous sample was an extremum; ICR is the slope leaving it
             icr = (size - prev_s) / (time - prev_t)

@@ -16,7 +16,7 @@ HAU's newest state.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any
 
 from repro.cluster.node import Node
 from repro.simulation.core import Environment
@@ -79,7 +79,7 @@ class SharedStorage:
                 "ms_storage_bytes_written_total", namespace=namespace
             ).inc(int(size))
 
-    def _produce(self, namespace: str, key: str, version: Optional[int], priority: int = 0):
+    def _produce(self, namespace: str, key: str, version: int | None, priority: int = 0):
         obj = self.lookup(namespace, key, version)
         yield from self.node.disk.transfer(obj.size, priority=priority)
         self.bytes_read += obj.size
@@ -90,7 +90,7 @@ class SharedStorage:
         return obj
 
     # -- control plane (instant metadata access for the co-located controller) --
-    def lookup(self, namespace: str, key: str, version: Optional[int] = None) -> StoredObject:
+    def lookup(self, namespace: str, key: str, version: int | None = None) -> StoredObject:
         versions = self._objects.get((namespace, key))
         if not versions:
             raise StorageError(f"no object {namespace}/{key}")
@@ -117,7 +117,7 @@ class SharedStorage:
         if versions:
             self._objects[pair] = [o for o in versions if o.version >= version]
 
-    def total_bytes(self, namespace: Optional[str] = None) -> int:
+    def total_bytes(self, namespace: str | None = None) -> int:
         return sum(
             obj.size
             for (ns, _k), versions in self._objects.items()
@@ -156,7 +156,7 @@ class StorageClient:
         self.node.check_alive()
         return self.storage.latest_version(namespace, key)
 
-    def read(self, namespace: str, key: str, version: Optional[int] = None, bulk: bool = False):
+    def read(self, namespace: str, key: str, version: int | None = None, bulk: bool = False):
         """Fetch an object; returns the :class:`StoredObject`."""
         self.node.check_alive()
         prio = 1 if bulk else 0

@@ -16,7 +16,7 @@ without any client library.
 from __future__ import annotations
 
 import json
-from typing import Any, Optional
+from typing import Any
 
 from repro.telemetry.registry import Histogram, RegistryLike
 
@@ -26,7 +26,7 @@ _JSON_KW = dict(sort_keys=True, indent=2, allow_nan=False)
 def snapshot(
     registry: RegistryLike,
     sampler=None,
-    meta: Optional[dict[str, Any]] = None,
+    meta: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Fold a registry (and optional sampler) into a JSON-ready dict."""
     snap: dict[str, Any] = {
@@ -49,7 +49,7 @@ def write_snapshot(snap: dict[str, Any], path: str) -> None:
 
 def read_snapshot(path: str) -> dict[str, Any]:
     """Parse a snapshot file back (for the report CLI and tests)."""
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, encoding="utf-8") as fh:
         return json.load(fh)
 
 
@@ -60,7 +60,7 @@ def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
-def _label_str(labels: dict[str, str] | tuple, extra: Optional[dict[str, str]] = None) -> str:
+def _label_str(labels: dict[str, str] | tuple, extra: dict[str, str] | None = None) -> str:
     pairs = dict(labels)
     if extra:
         pairs.update(extra)

@@ -13,7 +13,7 @@ exact percentile methods, and by the tests that bound the P² error.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 
 def exact_percentile(sorted_values: Sequence[float], q: float) -> float:

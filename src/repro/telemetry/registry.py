@@ -21,7 +21,8 @@ unit suffix where applicable — directly exportable as Prometheus text.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional, Union
+from collections.abc import Iterator
+from typing import Any
 
 from repro.telemetry.quantile import P2Quantile
 
@@ -156,7 +157,7 @@ class Histogram:
         return out
 
 
-Metric = Union[Counter, Gauge, Histogram]
+Metric = Counter | Gauge | Histogram
 
 
 class _NullMetric:
@@ -266,7 +267,7 @@ class MetricRegistry:
     def histogram(
         self,
         name: str,
-        percentiles: Optional[tuple[float, ...]] = None,
+        percentiles: tuple[float, ...] | None = None,
         **labels: str,
     ) -> Histogram:
         if percentiles is None:
@@ -278,7 +279,7 @@ class MetricRegistry:
         """All metrics, sorted by (name, labels) for stable export."""
         return [self._metrics[key] for key in sorted(self._metrics)]
 
-    def get(self, name: str, **labels: str) -> Optional[Metric]:
+    def get(self, name: str, **labels: str) -> Metric | None:
         """The metric if it exists — never creates (for tooling/tests)."""
         return self._metrics.get((name, _label_pairs(labels)))
 
@@ -298,6 +299,6 @@ class MetricRegistry:
 RegistryLike = Any  # MetricRegistry | NullRegistry — same factory surface
 
 
-def ensure_registry(registry: Optional[RegistryLike]) -> RegistryLike:
+def ensure_registry(registry: RegistryLike | None) -> RegistryLike:
     """Coerce ``None`` to the shared no-op registry."""
     return NULL_REGISTRY if registry is None else registry

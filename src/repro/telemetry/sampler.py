@@ -18,8 +18,6 @@ unsampled one.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.telemetry.registry import RegistryLike, ensure_registry
 
 DEFAULT_INTERVAL = 1.0
@@ -45,7 +43,7 @@ class Sampler:
     def __init__(
         self,
         runtime,
-        registry: Optional[RegistryLike] = None,
+        registry: RegistryLike | None = None,
         interval: float = DEFAULT_INTERVAL,
     ):
         if interval <= 0:
@@ -109,7 +107,8 @@ class Sampler:
         if metric != "ms_hau_ckpt_write_seconds":
             # write-duration gauges are owned by the checkpoint sites;
             # everything else the sampler keeps current itself.
-            self.registry.gauge(metric, hau=hau_id).set(value)
+            # names come from SERIES_METRICS, each documented in DESIGN.md
+            self.registry.gauge(metric, hau=hau_id).set(value)  # repro-lint: disable=TEL001
 
     def _preserve_bytes(self, hau_id: str) -> float:
         """Retained bytes attributable to this HAU, whichever discipline.
@@ -142,7 +141,7 @@ class Sampler:
                 hau_id: [[t, v] for (t, v) in points]
                 for hau_id, points in sorted(per_hau.items())
             }
-            for metric, per_hau in self.series.items()
+            for metric, per_hau in sorted(self.series.items())
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

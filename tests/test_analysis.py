@@ -1,0 +1,973 @@
+"""Tests for repro.analysis (repro-lint): rules, engine, baseline, CLI.
+
+Each rule gets at least one seeded-violation fixture (must fire) and
+false-positive guards (must stay quiet).  The engine plumbing (inline
+suppression, alias resolution, syntax-error reporting), the baseline
+round-trip and the CLI exit-code / JSON-report contracts are covered
+separately.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.baseline import (
+    Baseline,
+    baseline_from_findings,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.cli import list_rules_text, main
+from repro.analysis.engine import (
+    AnalysisConfig,
+    import_aliases,
+    parse_suppressions,
+    run_analysis,
+)
+from repro.analysis.findings import Finding, Severity, sort_findings
+from repro.analysis.registry import Rule, all_rules, get_rule, register
+from repro.analysis.schema import parse_metric_schema, parse_trace_schema
+
+import ast
+
+
+def run_fixture(tmp_path, files, design=None, rule_ids=None, dirs=("src",)):
+    """Materialise ``files`` under ``tmp_path`` and run the analysis."""
+    for rel, text in files.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(textwrap.dedent(text), encoding="utf-8")
+    if design is not None:
+        (tmp_path / "DESIGN.md").write_text(textwrap.dedent(design), encoding="utf-8")
+    config = AnalysisConfig(
+        root=tmp_path,
+        dirs=dirs,
+        rule_ids=tuple(rule_ids) if rule_ids else None,
+    )
+    return run_analysis(config)
+
+
+def rules_of(project):
+    return [f.rule for f in project.findings]
+
+
+# ---------------------------------------------------------------------------
+# DET001 — wall-clock calls
+# ---------------------------------------------------------------------------
+
+
+def test_det001_flags_time_time(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            import time
+
+            def tick(env):
+                return time.time()
+            """
+        },
+        rule_ids=["DET001"],
+    )
+    assert rules_of(project) == ["DET001"]
+    assert "time.time" in project.findings[0].message
+
+
+def test_det001_resolves_import_aliases(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            from time import perf_counter as pc
+            from datetime import datetime
+
+            def stamp():
+                return pc(), datetime.now()
+            """
+        },
+        rule_ids=["DET001"],
+    )
+    msgs = [f.message for f in project.findings]
+    assert len(msgs) == 2
+    assert any("time.perf_counter" in m for m in msgs)
+    assert any("datetime.datetime.now" in m for m in msgs)
+
+
+def test_det001_ignores_non_wall_clock_receivers(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            def tick(env, clock):
+                now = env.now
+                t = clock.time()       # not the time module
+                env.timeout(1.0)
+                return now, t
+            """
+        },
+        rule_ids=["DET001"],
+    )
+    assert project.findings == []
+
+
+# ---------------------------------------------------------------------------
+# DET002 — global random module / legacy numpy global RNG
+# ---------------------------------------------------------------------------
+
+
+def test_det002_flags_random_imports_and_numpy_global(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            import random
+            from random import choice
+            import numpy as np
+
+            def jitter():
+                np.random.seed(7)
+                return random.random() + np.random.uniform()
+            """
+        },
+        rule_ids=["DET002"],
+    )
+    # import random, from random import, np.random.seed, np.random.uniform
+    assert rules_of(project) == ["DET002"] * 4
+
+
+def test_det002_allows_generator_construction_and_named_streams(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            import numpy as np
+
+            def make(registry):
+                rng = np.random.default_rng(0)
+                stream = registry.stream("arrivals")
+                return rng.normal() + stream.choice([1, 2])
+            """
+        },
+        rule_ids=["DET002"],
+    )
+    assert project.findings == []
+
+
+# ---------------------------------------------------------------------------
+# DET003 — unordered iteration in export paths
+# ---------------------------------------------------------------------------
+
+
+def test_det003_flags_set_iteration_in_export_path(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/repro/telemetry/x.py": """\
+            def build(items):
+                out = [x for x in {1, 2, 3}]
+                for x in set(items):
+                    out.append(x)
+                return out
+            """
+        },
+        rule_ids=["DET003"],
+    )
+    assert rules_of(project) == ["DET003"] * 2
+
+
+def test_det003_flags_dict_view_in_serializer(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/repro/telemetry/x.py": """\
+            def to_payload(d):
+                return [k for k in d.keys()]
+            """
+        },
+        rule_ids=["DET003"],
+    )
+    assert rules_of(project) == ["DET003"]
+    assert "d.keys()" in project.findings[0].message
+
+
+def test_det003_ignores_dict_view_outside_serializer(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/repro/telemetry/x.py": """\
+            def fill(d):
+                for k, v in d.items():
+                    d[k] = v + 1
+            """
+        },
+        rule_ids=["DET003"],
+    )
+    assert project.findings == []
+
+
+def test_det003_ignores_sorted_and_order_insensitive_wraps(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/repro/telemetry/x.py": """\
+            def to_payload(d):
+                a = [k for k in sorted(d.keys())]
+                b = sorted(v for k, v in d.items())
+                c = sum(v for v in d.values())
+                return a, b, c
+            """
+        },
+        rule_ids=["DET003"],
+    )
+    assert project.findings == []
+
+
+def test_det003_scoped_to_export_paths_only(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/repro/dsps/x.py": """\
+            def to_payload(d):
+                return [k for k in d.keys()] + [x for x in {1, 2}]
+            """
+        },
+        rule_ids=["DET003"],
+    )
+    assert project.findings == []
+
+
+# ---------------------------------------------------------------------------
+# SIM001 — process generators yield engine events only
+# ---------------------------------------------------------------------------
+
+
+def test_sim001_flags_literal_yield_in_driven_generator(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            def worker(env):
+                yield 1
+                yield env.timeout(1.0)
+
+            def main(env):
+                env.process(worker(env))
+            """
+        },
+        rule_ids=["SIM001"],
+    )
+    assert rules_of(project) == ["SIM001"]
+    assert "worker" in project.findings[0].message
+    assert project.findings[0].line == 2
+
+
+def test_sim001_flags_bare_yield_and_spawn_and_process_ctor(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            def a(env):
+                yield
+
+            def b(env):
+                yield "tick"
+
+            def main(env, sched):
+                sched.spawn(a(env))
+                Process(env, b(env))
+            """
+        },
+        rule_ids=["SIM001"],
+    )
+    assert rules_of(project) == ["SIM001"] * 2
+
+
+def test_sim001_allows_return_yield_idiom_and_event_yields(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            def hook(env):
+                return
+                yield
+
+            def worker(env):
+                yield env.timeout(1.0)
+                yield from hook(env)
+
+            def main(env):
+                env.process(hook(env))
+                env.process(worker(env))
+            """
+        },
+        rule_ids=["SIM001"],
+    )
+    assert project.findings == []
+
+
+def test_sim001_ignores_undriven_generators(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            def plain_iterator():
+                yield 1
+                yield 2
+            """
+        },
+        rule_ids=["SIM001"],
+    )
+    assert project.findings == []
+
+
+# ---------------------------------------------------------------------------
+# PROTO001 — scheme hook protocol / operator save-restore pairing
+# ---------------------------------------------------------------------------
+
+
+def test_proto001_flags_generator_hook_overridden_as_plain(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            class BadScheme(CheckpointScheme):
+                def on_emit(self, hau, tup):
+                    return tup
+            """
+        },
+        rule_ids=["PROTO001"],
+    )
+    assert rules_of(project) == ["PROTO001"]
+    assert "on_emit" in project.findings[0].message
+    assert "yield from" in project.findings[0].message
+
+
+def test_proto001_flags_yield_in_plain_hook(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            class BadScheme(SchemeHooks):
+                def on_hau_started(self, hau):
+                    yield hau
+            """
+        },
+        rule_ids=["PROTO001"],
+    )
+    assert rules_of(project) == ["PROTO001"]
+    assert "on_hau_started" in project.findings[0].message
+
+
+def test_proto001_flags_missing_initiate_round(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            class HalfVariant(MeteorShowerBase):
+                def write_checkpoint(self, hau, reason):
+                    yield from ()
+            """
+        },
+        rule_ids=["PROTO001"],
+    )
+    assert any("initiate_round" in f.message for f in project.findings)
+
+
+def test_proto001_abstract_intermediate_not_flagged(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            class AbstractVariant(MeteorShowerBase):
+                pass
+
+            class Concrete(AbstractVariant):
+                def initiate_round(self, reason):
+                    yield from ()
+            """
+        },
+        rule_ids=["PROTO001"],
+    )
+    assert project.findings == []
+
+
+def test_proto001_return_yield_idiom_is_a_generator(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            class GoodScheme(CheckpointScheme):
+                def on_emit(self, hau, tup):
+                    return
+                    yield
+            """
+        },
+        rule_ids=["PROTO001"],
+    )
+    assert project.findings == []
+
+
+def test_proto001_operator_snapshot_without_restore(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            class HalfOp(Operator):
+                def snapshot(self):
+                    return {}
+
+            class FullOp(Operator):
+                def snapshot(self):
+                    return {}
+
+                def restore(self, blob):
+                    pass
+            """
+        },
+        rule_ids=["PROTO001"],
+    )
+    assert rules_of(project) == ["PROTO001"]
+    assert "HalfOp" in project.findings[0].message
+    assert "restore" in project.findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# TEL001 — metric names vs DESIGN.md metric schema
+# ---------------------------------------------------------------------------
+
+DESIGN_FIXTURE = """\
+# design
+
+## Trace schema
+
+| prefix | events |
+|---|---|
+| `ckpt.` | `round_started`, `round_done` |
+| `metrics.` | forwarded verbatim by `MetricsHub.record_event` |
+
+## Metric schema
+
+| metric | kind |
+|---|---|
+| `ms_good_total`, `ms_other_total` | counter |
+"""
+
+
+def test_tel001_clean_when_in_sync(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            def setup(env):
+                env.telemetry.counter("ms_good_total").inc()
+                env.telemetry.counter("ms_other_total").inc()
+            """
+        },
+        design=DESIGN_FIXTURE,
+        rule_ids=["TEL001"],
+    )
+    assert project.findings == []
+
+
+def test_tel001_flags_undocumented_and_dead_metrics(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            def setup(env):
+                env.telemetry.counter("ms_good_total").inc()
+                env.telemetry.gauge("ms_rogue_bytes").set(1.0)
+            """
+        },
+        design=DESIGN_FIXTURE,
+        rule_ids=["TEL001"],
+    )
+    msgs = {f.message for f in project.findings}
+    assert any("ms_rogue_bytes" in m and "not documented" in m for m in msgs)
+    assert any("ms_other_total" in m and "never emitted" in m for m in msgs)
+    # the dead-metric finding points at the DESIGN.md table row
+    dead = [f for f in project.findings if "never emitted" in f.message]
+    assert dead[0].path == "DESIGN.md"
+
+
+def test_tel001_flags_dynamic_metric_name(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            def setup(env, name):
+                env.telemetry.counter(name).inc()
+            """
+        },
+        design=DESIGN_FIXTURE,
+        rule_ids=["TEL001"],
+    )
+    assert any("dynamic metric name" in f.message for f in project.findings)
+
+
+def test_tel001_warns_when_design_missing(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            def setup(env):
+                env.telemetry.counter("ms_x_total").inc()
+            """
+        },
+        rule_ids=["TEL001"],
+    )
+    assert rules_of(project) == ["TEL001"]
+    assert project.findings[0].severity == Severity.WARNING
+
+
+def test_tel001_ignores_non_telemetry_receivers(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            def setup(env, geiger):
+                env.telemetry.counter("ms_good_total").inc()
+                env.telemetry.counter("ms_other_total").inc()
+                geiger.counter("clicks").inc()
+            """
+        },
+        design=DESIGN_FIXTURE,
+        rule_ids=["TEL001"],
+    )
+    assert project.findings == []
+
+
+# ---------------------------------------------------------------------------
+# TRC001 — trace kinds vs KINDS and DESIGN.md trace schema
+# ---------------------------------------------------------------------------
+
+
+def test_trc001_clean_when_in_sync(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/tracer.py": """\
+            KINDS = ("ckpt.round_started", "ckpt.round_done")
+
+            def run(trace, kind):
+                trace.emit("ckpt.round_started")
+                trace.emit("ckpt.round_done")
+                trace.emit("metrics." + kind)
+            """
+        },
+        design=DESIGN_FIXTURE,
+        rule_ids=["TRC001"],
+    )
+    assert project.findings == []
+
+
+def test_trc001_flags_emitted_but_undeclared_kind(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/tracer.py": """\
+            KINDS = ("ckpt.round_started", "ckpt.round_done")
+
+            def run(trace):
+                trace.emit("ckpt.round_started")
+                trace.emit("ckpt.round_done")
+                trace.emit("ckpt.rogue")
+            """
+        },
+        design=DESIGN_FIXTURE,
+        rule_ids=["TRC001"],
+    )
+    assert rules_of(project) == ["TRC001"]
+    assert "ckpt.rogue" in project.findings[0].message
+    assert "not declared in KINDS" in project.findings[0].message
+
+
+def test_trc001_flags_declared_but_never_emitted(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/tracer.py": """\
+            KINDS = ("ckpt.round_started", "ckpt.round_done")
+
+            def run(trace):
+                trace.emit("ckpt.round_started")
+            """
+        },
+        design=DESIGN_FIXTURE,
+        rule_ids=["TRC001"],
+    )
+    msgs = [f.message for f in project.findings]
+    assert any("ckpt.round_done" in m and "never emitted" in m for m in msgs)
+    # the finding points at the KINDS tuple element
+    f = project.findings[0]
+    assert f.path == "src/tracer.py" and f.line == 1
+
+
+def test_trc001_flags_design_doc_drift_both_directions(tmp_path):
+    design = DESIGN_FIXTURE.replace("`round_started`, `round_done`", "`round_started`, `ghost`")
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/tracer.py": """\
+            KINDS = ("ckpt.round_started", "ckpt.round_done")
+
+            def run(trace):
+                trace.emit("ckpt.round_started")
+                trace.emit("ckpt.round_done")
+            """
+        },
+        design=design,
+        rule_ids=["TRC001"],
+    )
+    msgs = {f.message for f in project.findings}
+    assert any("ckpt.round_done" in m and "not documented" in m for m in msgs)
+    assert any("ckpt.ghost" in m and "not declared in KINDS" in m for m in msgs)
+
+
+def test_trc001_flags_undeclared_dynamic_prefix(tmp_path):
+    design = "\n".join(
+        line
+        for line in DESIGN_FIXTURE.splitlines()
+        if "metrics." not in line
+    )
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/tracer.py": """\
+            KINDS = ("ckpt.round_started", "ckpt.round_done")
+
+            def run(trace, kind):
+                trace.emit("ckpt.round_started")
+                trace.emit("ckpt.round_done")
+                trace.emit("metrics." + kind)
+            """
+        },
+        design=design,
+        rule_ids=["TRC001"],
+    )
+    assert any("metrics." in f.message and "dynamic" in f.message for f in project.findings)
+
+
+def test_trc001_flags_dynamic_kind_without_constant_prefix(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/tracer.py": """\
+            def run(trace, kind):
+                trace.emit(kind)
+            """
+        },
+        design=DESIGN_FIXTURE,
+        rule_ids=["TRC001"],
+    )
+    assert any("dynamic trace kind" in f.message for f in project.findings)
+
+
+# ---------------------------------------------------------------------------
+# schema parsers
+# ---------------------------------------------------------------------------
+
+
+def test_parse_metric_schema_first_cell_only():
+    documented = parse_metric_schema(DESIGN_FIXTURE)
+    assert set(documented) == {"ms_good_total", "ms_other_total"}
+    # backticked tokens in later cells (e.g. module paths) never count
+    text = DESIGN_FIXTURE + "| `ms_extra_total` | counter | `ms_not_a_metric` labels |\n"
+    # appended outside the section header scan: re-parse a table inside the section
+    assert "ms_not_a_metric" not in parse_metric_schema(
+        DESIGN_FIXTURE.replace(
+            "| `ms_good_total`, `ms_other_total` | counter |",
+            "| `ms_good_total`, `ms_other_total` | counter about `ms_not_a_metric` |",
+        )
+    )
+    del text
+
+
+def test_parse_trace_schema_kinds_and_dynamic_prefixes():
+    kinds, dynamic = parse_trace_schema(DESIGN_FIXTURE)
+    assert set(kinds) == {"ckpt.round_started", "ckpt.round_done"}
+    assert dynamic == {"metrics."}
+    # CamelCase prose tokens (MetricsHub.record_event) are not events
+
+
+# ---------------------------------------------------------------------------
+# engine plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_inline_suppression_single_rule_and_all(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            import time
+
+            def tick():
+                a = time.time()  # repro-lint: disable=DET001
+                b = time.time()  # repro-lint: disable=all
+                return a + b
+            """
+        },
+        rule_ids=["DET001"],
+    )
+    assert project.findings == []
+    assert project.inline_suppressed == 2
+
+
+def test_inline_suppression_does_not_hide_other_rules(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/m.py": """\
+            import time
+
+            def tick():
+                return time.time()  # repro-lint: disable=TEL001
+            """
+        },
+        rule_ids=["DET001"],
+    )
+    assert rules_of(project) == ["DET001"]
+
+
+def test_syntax_error_reported_as_e000(tmp_path):
+    project = run_fixture(tmp_path, {"src/broken.py": "def f(:\n    pass\n"})
+    assert [f.rule for f in project.findings] == ["E000"]
+    assert "syntax error" in project.findings[0].message
+
+
+def test_parse_suppressions_and_import_aliases():
+    supp = parse_suppressions("x = 1\ny = 2  # repro-lint: disable=A1, B2\n")
+    assert supp == {2: {"A1", "B2"}}
+    tree = ast.parse(
+        "import numpy as np\nfrom time import monotonic as mono\nimport os.path\n"
+    )
+    aliases = import_aliases(tree)
+    assert aliases["np"] == "numpy"
+    assert aliases["mono"] == "time.monotonic"
+    assert aliases["os"] == "os"
+
+
+def test_findings_sort_and_fingerprint_line_independent():
+    a = Finding("DET001", Severity.ERROR, "src/a.py", 10, 1, "msg")
+    b = Finding("DET001", Severity.ERROR, "src/a.py", 2, 1, "msg")
+    assert sort_findings([a, b]) == [b, a]
+    # fingerprint ignores line/col: moving a violation keeps it baselined
+    assert a.fingerprint() == b.fingerprint()
+    c = Finding("DET002", Severity.ERROR, "src/a.py", 10, 1, "msg")
+    assert a.fingerprint() != c.fingerprint()
+
+
+def test_registry_rejects_duplicates_and_lists_sorted():
+    assert [cls.id for cls in all_rules()] == sorted(cls.id for cls in all_rules())
+    assert get_rule("DET001").id == "DET001"
+    with pytest.raises(ValueError):
+
+        @register
+        class Dup(Rule):  # noqa: F811 - intentionally conflicting id
+            id = "DET001"
+
+
+# ---------------------------------------------------------------------------
+# baseline round-trip
+# ---------------------------------------------------------------------------
+
+
+def violation_files():
+    return {
+        "src/m.py": """\
+        import time
+
+        def tick():
+            return time.time()
+        """
+    }
+
+
+def test_baseline_round_trip_suppresses_recorded_findings(tmp_path):
+    project = run_fixture(tmp_path, violation_files(), rule_ids=["DET001"])
+    assert len(project.findings) == 1
+    baseline = baseline_from_findings(project.findings)
+    path = tmp_path / "baseline.json"
+    write_baseline(baseline, path)
+    loaded = load_baseline(path)
+    kept, suppressed = loaded.apply(project.findings)
+    assert kept == [] and suppressed == 1
+    # file is stable JSON with sorted keys
+    doc = json.loads(path.read_text())
+    assert doc["version"] == 1
+    assert list(doc["suppressions"]) == sorted(doc["suppressions"])
+
+
+def test_baseline_is_count_aware():
+    f = Finding("DET001", Severity.ERROR, "src/a.py", 1, 1, "msg")
+    g = Finding("DET001", Severity.ERROR, "src/a.py", 9, 1, "msg")  # same fingerprint
+    baseline = baseline_from_findings([f])
+    kept, suppressed = baseline.apply([f, g])
+    assert suppressed == 1 and len(kept) == 1
+
+
+def test_load_baseline_missing_file_and_bad_version(tmp_path):
+    assert load_baseline(tmp_path / "nope.json").counts == {}
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"version": 99, "suppressions": {}}')
+    with pytest.raises(ValueError):
+        load_baseline(bad)
+
+
+def test_load_baseline_accepts_bare_count_entries(tmp_path):
+    p = tmp_path / "b.json"
+    p.write_text('{"version": 1, "suppressions": {"abcd": 2}}')
+    assert load_baseline(p).counts == {"abcd": 2}
+
+
+def test_baseline_apply_empty_is_identity():
+    f = Finding("DET001", Severity.ERROR, "src/a.py", 1, 1, "msg")
+    kept, suppressed = Baseline().apply([f])
+    assert kept == [f] and suppressed == 0
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def write_repo(tmp_path, files, design=None):
+    for rel, text in files.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(textwrap.dedent(text), encoding="utf-8")
+    if design is not None:
+        (tmp_path / "DESIGN.md").write_text(textwrap.dedent(design), encoding="utf-8")
+
+
+def test_cli_exit_zero_on_clean_repo(tmp_path, capsys):
+    write_repo(tmp_path, {"src/m.py": "def f():\n    return 1\n"})
+    assert main(["--root", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "repro-lint:" in out and "0 finding(s)" in out
+
+
+def test_cli_exit_one_on_violation(tmp_path, capsys):
+    write_repo(tmp_path, violation_files())
+    assert main(["--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "src/m.py:4" in out
+
+
+def test_cli_strict_gates_warnings(tmp_path, capsys):
+    # telemetry emitted with no DESIGN.md -> a single TEL001 *warning*
+    write_repo(
+        tmp_path,
+        {"src/m.py": 'def f(env):\n    env.telemetry.counter("ms_x_total").inc()\n'},
+    )
+    assert main(["--root", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["--root", str(tmp_path), "--strict"]) == 1
+
+
+def test_cli_exit_two_on_bad_root_and_bad_baseline(tmp_path, capsys):
+    assert main(["--root", str(tmp_path / "missing")]) == 2
+    write_repo(tmp_path, {"src/m.py": "x = 1\n"})
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["--root", str(tmp_path), "--baseline", str(bad)]) == 2
+
+
+def test_cli_json_report_schema(tmp_path, capsys):
+    write_repo(tmp_path, violation_files())
+    assert main(["--root", str(tmp_path), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert set(doc) == {
+        "version",
+        "strict",
+        "dirs",
+        "files_scanned",
+        "rules",
+        "findings",
+        "counts",
+        "suppressed_baseline",
+        "suppressed_inline",
+    }
+    assert doc["counts"] == {"DET001": 1}
+    (finding,) = doc["findings"]
+    assert set(finding) == {
+        "rule",
+        "severity",
+        "path",
+        "line",
+        "col",
+        "message",
+        "fingerprint",
+    }
+    assert doc["rules"] == [cls.id for cls in all_rules()]
+
+
+def test_cli_output_writes_json_regardless_of_format(tmp_path, capsys):
+    write_repo(tmp_path, violation_files())
+    report = tmp_path / "report.json"
+    assert main(["--root", str(tmp_path), "--output", str(report)]) == 1
+    doc = json.loads(report.read_text())
+    assert doc["counts"] == {"DET001": 1}
+
+
+def test_cli_write_baseline_then_suppress(tmp_path, capsys):
+    write_repo(tmp_path, violation_files())
+    baseline = tmp_path / "baseline.json"
+    assert main(["--root", str(tmp_path), "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert main(["--root", str(tmp_path), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+
+
+def test_cli_rules_filter(tmp_path, capsys):
+    write_repo(
+        tmp_path,
+        {
+            "src/m.py": """\
+            import time
+            import random
+
+            def f():
+                return time.time() + random.random()
+            """
+        },
+    )
+    assert main(["--root", str(tmp_path), "--rules", "DET002"]) == 1
+    out = capsys.readouterr().out
+    assert "DET002" in out and "DET001" not in out
+
+
+def test_cli_list_rules_covers_every_rule(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for cls in all_rules():
+        assert cls.id in out
+        assert cls.title in out
+    assert "repro-lint rules" in out
+
+
+def test_list_rules_text_contains_rationale_and_suppress_hint():
+    text = list_rules_text()
+    assert "why:" in text and "suppress:" in text
+
+
+def test_cli_bad_flag_returns_two(capsys):
+    assert main(["--no-such-flag"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# the repo itself stays clean
+# ---------------------------------------------------------------------------
+
+
+def test_repo_is_clean_under_strict(capsys):
+    """The acceptance gate: the real tree passes --strict with no baseline."""
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parents[1]
+    assert main(["--root", str(root), "--strict"]) == 0
