@@ -30,7 +30,7 @@ PAPER = {
 }
 
 
-def test_headline_numbers(benchmark, get_sweep, write_artifact):
+def test_headline_numbers(benchmark, get_sweep, sweep_stats, write_artifact):
     numbers = benchmark.pedantic(lambda: headline_numbers(get_sweep()), rounds=1, iterations=1)
     rows = [
         [key, f"{value:+.1%}", f"{PAPER[key]:+.1%}"]
@@ -46,6 +46,13 @@ def test_headline_numbers(benchmark, get_sweep, write_artifact):
     write_artifact("BENCH_headline.json", {
         "mode": "full" if os.environ.get("REPRO_FULL") else "fast",
         "headline": numbers,
+        "sweep_stats": {
+            "jobs": sweep_stats.jobs,
+            "cells": sweep_stats.cells,
+            "cache_hits": sweep_stats.cache_hits,
+            "cache_misses": sweep_stats.cache_misses,
+            "executed": sweep_stats.executed,
+        },
         "cells": [
             {
                 "app": c.app,
@@ -69,6 +76,54 @@ def test_headline_numbers(benchmark, get_sweep, write_artifact):
     assert numbers["aa_thpt_gain_3ckpt"] > -0.05
     assert numbers["total_thpt_gain_3ckpt"] > 0.15  # the full system wins
     assert numbers["total_lat_gain_3ckpt"] > 0.0
+
+
+def test_kernel_microbench(write_artifact):
+    """Kernel fast-path smoke: wall-clock + events/sec on one headline cell.
+
+    The wall-clock here is host-dependent, so the regression gate treats
+    the recorded numbers as warn-only (``check_regression.py
+    --wall-tolerance``); the determinism and pool-efficiency assertions
+    are hard.
+    """
+    import time
+
+    from repro.harness import ExperimentConfig, run_experiment
+
+    cfg = ExperimentConfig(
+        app="tmi", scheme="ms-src+ap", n_checkpoints=2, window=60.0, warmup=20.0,
+        workers=8, spares=12, racks=2, seed=1, app_params={"n_minutes": 0.25},
+    )
+    run_experiment(cfg)  # warm-up: imports, allocator, caches
+    wall = float("inf")
+    stats = None
+    popped = set()
+    for _ in range(3):
+        t0 = time.perf_counter()  # repro-lint: disable=DET001 (host timing, not simulated)
+        res = run_experiment(cfg)
+        elapsed = time.perf_counter() - t0  # repro-lint: disable=DET001 (host timing, not simulated)
+        kernel = res.runtime.env.kernel_stats()
+        popped.add(kernel["events_popped"])
+        if elapsed < wall:
+            wall, stats = elapsed, kernel
+    events_per_sec = stats["events_popped"] / wall
+    hit_rate = stats["pool_hits"] / max(1, stats["pool_hits"] + stats["pool_misses"])
+    print(
+        f"\nkernel microbench: {wall:.3f}s wall, {events_per_sec:,.0f} events/sec, "
+        f"pool hit-rate {hit_rate:.2%} ({stats['pool_hits']} hits / {stats['pool_misses']} misses)"
+    )
+    # the engine's work is part of the determinism contract
+    assert len(popped) == 1, f"events_popped varied across identical runs: {popped}"
+    # the free lists must actually absorb the steady-state churn
+    assert hit_rate > 0.90, f"pool hit-rate collapsed: {hit_rate:.2%}"
+    write_artifact("BENCH_kernel.json", {
+        "mode": "full" if os.environ.get("REPRO_FULL") else "fast",
+        "wall_seconds": wall,
+        "events_per_sec": events_per_sec,
+        "events_popped": stats["events_popped"],
+        "pool_hits": stats["pool_hits"],
+        "pool_misses": stats["pool_misses"],
+    })
 
 
 def test_trace_artifact(write_artifact):

@@ -17,15 +17,25 @@ Two gates, each per cell:
   value are noted and skipped, so the gate is backward compatible with
   throughput-only baselines.
 
+A third, **warn-only** gate covers the kernel microbenchmark
+(``BENCH_kernel.json``, written next to the headline report): wall-clock
+growth or ``events_per_sec`` drop beyond ``--wall-tolerance`` (default
+50% — host timing varies wildly across runners) prints a warning but
+never changes the exit status.  ``events_popped`` drift, by contrast, is
+deterministic and *does* fail: the engine doing a different amount of
+work for the same config means the event order changed.
+
 Usage::
 
     python benchmarks/check_regression.py artifacts/BENCH_headline.json \
         [--baseline benchmarks/BENCH_baseline.json] [--tolerance 0.15] \
-        [--latency-tolerance 0.15]
+        [--latency-tolerance 0.15] [--kernel artifacts/BENCH_kernel.json] \
+        [--wall-tolerance 0.5]
 
-Exit status: 0 = no regression, 1 = throughput regression or mode
-mismatch, 2 = bad invocation / unreadable input, 3 = latency-only
-regression (throughput held; CI can choose to warn instead of fail).
+Exit status: 0 = no regression, 1 = throughput regression / mode
+mismatch / events_popped drift, 2 = bad invocation / unreadable input,
+3 = latency-only regression (throughput held; CI can choose to warn
+instead of fail).
 """
 
 from __future__ import annotations
@@ -135,6 +145,46 @@ def compare(
     return regressions, lat_regressions, notes
 
 
+def compare_kernel(
+    kernel: dict,
+    baseline_kernel: dict,
+    wall_tolerance: float,
+) -> tuple[list[str], list[str]]:
+    """Return (hard_failures, warnings) for the kernel microbenchmark.
+
+    Wall-clock / events-per-second are host-dependent → warn-only.
+    ``events_popped`` is part of the determinism contract → hard.
+    """
+    failures: list[str] = []
+    warnings: list[str] = []
+    if kernel.get("mode") != baseline_kernel.get("mode"):
+        warnings.append(
+            f"kernel: mode mismatch (current={kernel.get('mode')!r} "
+            f"baseline={baseline_kernel.get('mode')!r}), comparison skipped"
+        )
+        return failures, warnings
+    b_popped = baseline_kernel.get("events_popped")
+    c_popped = kernel.get("events_popped")
+    if b_popped is not None and c_popped is not None and b_popped != c_popped:
+        failures.append(
+            f"kernel: events_popped {c_popped} vs baseline {b_popped} — the "
+            "engine's work changed for an identical config (event-order drift)"
+        )
+    for field_name, worse_when in (("wall_seconds", "higher"), ("events_per_sec", "lower")):
+        b = baseline_kernel.get(field_name)
+        c = kernel.get(field_name)
+        if not b or c is None:
+            continue
+        delta = c / b - 1.0
+        regressed = delta > wall_tolerance if worse_when == "higher" else delta < -wall_tolerance
+        if regressed:
+            warnings.append(
+                f"kernel: {field_name} {c:g} vs baseline {b:g} ({delta:+.1%}), "
+                f"beyond --wall-tolerance {wall_tolerance:.0%} (warn-only)"
+            )
+    return failures, warnings
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="fresh BENCH_headline.json to check")
@@ -143,6 +193,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="max allowed fractional throughput drop (default 0.15)")
     parser.add_argument("--latency-tolerance", type=float, default=0.15,
                         help="max allowed fractional latency increase (default 0.15)")
+    parser.add_argument("--kernel", default=None,
+                        help="BENCH_kernel.json to check (default: sibling of current)")
+    parser.add_argument("--wall-tolerance", type=float, default=0.5,
+                        help="warn-only threshold for kernel wall-clock growth / "
+                             "events-per-second drop (default 0.5)")
     args = parser.parse_args(argv)
 
     try:
@@ -155,6 +210,24 @@ def main(argv: list[str] | None = None) -> int:
     regressions, lat_regressions, notes = compare(
         current, baseline, args.tolerance, args.latency_tolerance
     )
+
+    # kernel microbenchmark (wall-clock warn-only; events_popped hard)
+    kernel_path = args.kernel or str(Path(args.current).parent / "BENCH_kernel.json")
+    baseline_kernel = baseline.get("kernel")
+    if baseline_kernel and Path(kernel_path).is_file():
+        try:
+            with open(kernel_path, encoding="utf-8") as fh:
+                kernel = json.load(fh)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_BAD_INVOCATION
+        kernel_failures, kernel_warnings = compare_kernel(
+            kernel, baseline_kernel, args.wall_tolerance
+        )
+        regressions.extend(kernel_failures)
+        notes.extend(kernel_warnings)
+    elif baseline_kernel:
+        notes.append(f"kernel: no {kernel_path}, kernel gate skipped")
     print(f"regression check: {len(cell_throughput(baseline))} baseline cells, "
           f"throughput tolerance {args.tolerance:.0%}, "
           f"latency tolerance {args.latency_tolerance:.0%}")

@@ -11,6 +11,14 @@ scaled accordingly (see DESIGN.md).
 Set ``REPRO_ARTIFACT_DIR`` to a directory to make benches write their
 machine-readable results (``BENCH_*.json``) and trace artifacts there —
 this is how CI collects the smoke-bench output for the regression gate.
+
+The sweep fans out through :func:`repro.harness.sweep.run_cells`:
+``REPRO_JOBS`` sets the worker count (default: all cores) and
+``REPRO_CACHE_DIR`` relocates the content-addressed result cache
+(default ``.repro-cache/`` at the repo root).  Cached cells are
+byte-identical to freshly computed ones, so the gate numbers do not
+depend on cache state; the per-session cache traffic is recorded in the
+``BENCH_headline.json`` artifact under ``sweep_stats``.
 """
 
 import json
@@ -19,6 +27,7 @@ import os
 import pytest
 
 from repro.harness.figures import fig12_fig13_sweep
+from repro.harness.sweep import SweepStats
 
 SWEEP_COUNTS = [0, 1, 3, 5, 8]
 SWEEP_APPS = ["tmi", "bcp", "signalguru"]
@@ -31,14 +40,20 @@ def sweep_cache():
 
 
 @pytest.fixture(scope="session")
-def get_sweep(sweep_cache):
+def sweep_stats():
+    """Runner/cache statistics accumulated by the session's sweeps."""
+    return SweepStats()
+
+
+@pytest.fixture(scope="session")
+def get_sweep(sweep_cache, sweep_stats):
     """A compute-or-cached thunk, so the first bench to call it still
     times the real computation under ``benchmark.pedantic``."""
 
     def _get():
         if "sweep" not in sweep_cache:
             sweep_cache["sweep"] = fig12_fig13_sweep(
-                apps=SWEEP_APPS, checkpoint_counts=SWEEP_COUNTS
+                apps=SWEEP_APPS, checkpoint_counts=SWEEP_COUNTS, stats=sweep_stats
             )
         return sweep_cache["sweep"]
 

@@ -17,9 +17,29 @@ from repro.harness.figures import (
     table1_failure_model,
     headline_numbers,
 )
+from repro.harness.digest import combined_digest, result_digest, result_fingerprint
 from repro.harness.report import format_table, format_series
+from repro.harness.sweep import (
+    CellSpec,
+    SweepStats,
+    cached_oracle_times,
+    clear_cache,
+    code_fingerprint,
+    default_jobs,
+    run_cells,
+)
 
 __all__ = [
+    "CellSpec",
+    "SweepStats",
+    "cached_oracle_times",
+    "clear_cache",
+    "code_fingerprint",
+    "combined_digest",
+    "default_jobs",
+    "result_digest",
+    "result_fingerprint",
+    "run_cells",
     "ExperimentConfig",
     "ExperimentResult",
     "run_experiment",

@@ -17,9 +17,9 @@ from repro.harness.experiment import (
     DEFAULT_WARMUP,
     DEFAULT_WINDOW,
     ExperimentConfig,
-    find_oracle_times,
     run_experiment,
 )
+from repro.harness.sweep import CellSpec, SweepStats, cached_oracle_times, run_cells
 
 MS_SCHEMES = ("baseline", "ms-src", "ms-src+ap", "ms-src+ap+aa")
 
@@ -157,28 +157,30 @@ def fig12_fig13_sweep(
     window: float = DEFAULT_WINDOW,
     warmup: float = DEFAULT_WARMUP,
     seed: int = 1,
+    jobs: int | None = None,
+    use_cache: bool = True,
+    stats: SweepStats | None = None,
 ) -> SweepResult:
-    """The common-case performance sweep behind Figs. 12 and 13."""
+    """The common-case performance sweep behind Figs. 12 and 13.
+
+    Cells fan out over :func:`repro.harness.sweep.run_cells` (parallel
+    workers + content-addressed cache); the resulting cell list is in
+    the same app × scheme × checkpoint-count order as the serial loop.
+    """
     apps = apps or ["tmi", "bcp", "signalguru"]
     checkpoint_counts = checkpoint_counts if checkpoint_counts is not None else [0, 1, 3, 5, 8]
     schemes = schemes or list(MS_SCHEMES)
-    result = SweepResult()
+    # First pass: lay out every cell (None spec = the degenerate aa@0
+    # case, filled from the ms-src+ap@0 cell after the sweep runs).
+    entries: list[tuple[str, str, int, int | None]] = []
+    specs: list[CellSpec] = []
     for app in apps:
         params = default_app_params(app, window)
         for scheme in schemes:
             for n in checkpoint_counts:
                 if scheme == "ms-src+ap+aa" and n == 0:
                     # aa with no checkpoints degenerates to ap with none
-                    ref = result.cell(app, "ms-src+ap", 0)
-                    if ref is not None:
-                        result.cells.append(
-                            SweepCell(
-                                app, scheme, 0, ref.throughput, ref.latency, 0,
-                                latency_p50=ref.latency_p50,
-                                latency_p95=ref.latency_p95,
-                                latency_p99=ref.latency_p99,
-                            )
-                        )
+                    entries.append((app, scheme, 0, None))
                     continue
                 # aa needs its profiling pass to observe at least one full
                 # checkpoint period of steady state before the measured
@@ -188,18 +190,33 @@ def fig12_fig13_sweep(
                     app=app, scheme=scheme, n_checkpoints=n,
                     window=window, warmup=wu, seed=seed, app_params=dict(params),
                 )
-                res = run_experiment(cfg)
-                logs = res.checkpoint_logs
-                done = sum(1 for log in logs if getattr(log, "complete", False))
-                pct = res.latency_percentiles
+                specs.append(CellSpec(config=cfg))
+                entries.append((app, scheme, n, len(specs) - 1))
+    payloads = run_cells(specs, jobs=jobs, use_cache=use_cache, stats=stats)
+    result = SweepResult()
+    for app, scheme, n, idx in entries:
+        if idx is None:
+            ref = result.cell(app, "ms-src+ap", 0)
+            if ref is not None:
                 result.cells.append(
                     SweepCell(
-                        app, scheme, n, res.throughput, res.latency, done,
-                        latency_p50=pct.get("p50", 0.0),
-                        latency_p95=pct.get("p95", 0.0),
-                        latency_p99=pct.get("p99", 0.0),
+                        app, scheme, 0, ref.throughput, ref.latency, 0,
+                        latency_p50=ref.latency_p50,
+                        latency_p95=ref.latency_p95,
+                        latency_p99=ref.latency_p99,
                     )
                 )
+            continue
+        p = payloads[idx]
+        pct = p["latency_percentiles"]
+        result.cells.append(
+            SweepCell(
+                app, scheme, n, p["throughput"], p["latency"], p["rounds_completed"],
+                latency_p50=pct.get("p50", 0.0),
+                latency_p95=pct.get("p95", 0.0),
+                latency_p99=pct.get("p99", 0.0),
+            )
+        )
     return result
 
 
@@ -243,6 +260,8 @@ def fig14_checkpoint_time(
     warmup: float = DEFAULT_WARMUP,
     seed: int = 1,
     n_checkpoints: int = 2,
+    jobs: int | None = None,
+    use_cache: bool = True,
 ) -> dict[str, dict[str, dict[str, float]]]:
     """Checkpoint time breakdown per app per scheme.
 
@@ -251,37 +270,40 @@ def fig14_checkpoint_time(
     checkpoint broken into token collection / disk I/O / other (§IV-B).
     """
     apps = apps or ["tmi", "bcp", "signalguru"]
-    out: dict[str, dict[str, dict[str, float]]] = {}
+    schemes = ("ms-src", "ms-src+ap", "ms-src+ap+aa", "oracle")
+    specs: list[CellSpec] = []
     for app in apps:
         params = default_app_params(app, window)
-        out[app] = {}
         oracle_base = ExperimentConfig(
             app=app, scheme="oracle", n_checkpoints=n_checkpoints,
             window=window, warmup=warmup, seed=seed, app_params=dict(params),
         )
-        oracle_times = find_oracle_times(oracle_base)
-        for scheme in ("ms-src", "ms-src+ap", "ms-src+ap+aa", "oracle"):
+        oracle_times = cached_oracle_times(oracle_base, use_cache=use_cache)
+        for scheme in schemes:
             wu = warmup + (window / n_checkpoints if scheme == "ms-src+ap+aa" else 0.0)
             cfg = ExperimentConfig(
                 app=app, scheme=scheme, n_checkpoints=n_checkpoints,
                 window=window, warmup=wu, seed=seed, app_params=dict(params),
                 oracle_times=oracle_times,
             )
-            res = run_experiment(cfg)
-            logs = [log for log in res.checkpoint_logs if log.complete]
-            if not logs:
+            specs.append(CellSpec(config=cfg))
+    payloads = run_cells(specs, jobs=jobs, use_cache=use_cache)
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    it = iter(payloads)
+    for app in apps:
+        out[app] = {}
+        for scheme in schemes:
+            ckpt = next(it)["checkpoint"]
+            if ckpt is None:
                 out[app][scheme] = {"total": float("nan")}
-                continue
-            log = logs[-1]
-            if scheme == "ms-src":
-                out[app][scheme] = {"total": log.wall_clock()}
+            elif scheme == "ms-src":
+                out[app][scheme] = {"total": ckpt["wall_clock"]}
             else:
-                slowest = log.slowest()
                 out[app][scheme] = {
-                    "token_collection": slowest.token_collection,
-                    "disk_io": slowest.disk_io,
-                    "other": slowest.other,
-                    "total": slowest.total,
+                    "token_collection": ckpt["token_collection"],
+                    "disk_io": ckpt["disk_io"],
+                    "other": ckpt["other"],
+                    "total": ckpt["total"],
                 }
     return out
 
@@ -295,19 +317,25 @@ def fig15_instantaneous_latency(
     warmup: float = DEFAULT_WARMUP,
     seed: int = 1,
     bin_width: float = 3.0,
+    jobs: int | None = None,
+    use_cache: bool = True,
 ) -> dict[str, list[tuple[float, float]]]:
     """Instantaneous (binned) latency around a single mid-window checkpoint."""
     params = default_app_params(app, window)
-    out: dict[str, list[tuple[float, float]]] = {}
-    for scheme in ("ms-src", "ms-src+ap", "ms-src+ap+aa"):
+    schemes = ("ms-src", "ms-src+ap", "ms-src+ap+aa")
+    specs: list[CellSpec] = []
+    for scheme in schemes:
         wu = warmup + (window if scheme == "ms-src+ap+aa" else 0.0)
         cfg = ExperimentConfig(
             app=app, scheme=scheme, n_checkpoints=1,
             window=window, warmup=wu, seed=seed, app_params=dict(params),
         )
-        res = run_experiment(cfg)
-        out[scheme] = res.binned_latency(wu, wu + window, bin_width)
-    return out
+        specs.append(CellSpec(config=cfg, bins=(wu, wu + window, bin_width)))
+    payloads = run_cells(specs, jobs=jobs, use_cache=use_cache)
+    return {
+        scheme: [(t, v) for (t, v) in payload["binned_latency"]]
+        for scheme, payload in zip(schemes, payloads)
+    }
 
 
 # --- Fig. 16 ------------------------------------------------------------------------
@@ -318,6 +346,8 @@ def fig16_recovery_time(
     window: float = DEFAULT_WINDOW,
     warmup: float = DEFAULT_WARMUP,
     seed: int = 1,
+    jobs: int | None = None,
+    use_cache: bool = True,
 ) -> dict[str, dict[str, dict[str, float]]]:
     """Worst-case recovery: all nodes hosting the application fail.
 
@@ -327,35 +357,38 @@ def fig16_recovery_time(
     """
     apps = apps or ["tmi", "bcp", "signalguru"]
     fail_at_frac = 0.6
-    out: dict[str, dict[str, dict[str, float]]] = {}
+    schemes = ("ms-src+ap", "ms-src+ap+aa", "oracle")
+    specs: list[CellSpec] = []
     for app in apps:
         params = default_app_params(app, window)
-        out[app] = {}
         base = ExperimentConfig(
             app=app, scheme="oracle", n_checkpoints=2,
             window=window, warmup=warmup, seed=seed, app_params=dict(params),
         )
-        oracle_times = find_oracle_times(base)
-        for scheme in ("ms-src+ap", "ms-src+ap+aa", "oracle"):
+        oracle_times = cached_oracle_times(base, use_cache=use_cache)
+        for scheme in schemes:
             wu = warmup + (window / 2 if scheme == "ms-src+ap+aa" else 0.0)
             cfg = ExperimentConfig(
                 app=app, scheme=scheme, n_checkpoints=2,
                 window=window, warmup=wu, seed=seed, app_params=dict(params),
                 oracle_times=oracle_times, enable_recovery=True,
             )
-            res = run_experiment(
-                cfg, failure_at=wu + fail_at_frac * window
-            )
-            recs = getattr(res.scheme, "recoveries", [])
-            if not recs:
+            specs.append(CellSpec(config=cfg, failure_at=wu + fail_at_frac * window))
+    payloads = run_cells(specs, jobs=jobs, use_cache=use_cache)
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    it = iter(payloads)
+    for app in apps:
+        out[app] = {}
+        for scheme in schemes:
+            rec = next(it)["recovery"]
+            if rec is None:
                 out[app][scheme] = {"total": float("nan")}
                 continue
-            rec = recs[0]
             out[app][scheme] = {
-                "reconnection": rec.reconnect_seconds,
-                "disk_io": rec.disk_io_seconds,
-                "other": rec.other,
-                "total": rec.total,
-                "bytes_read_mb": rec.bytes_read / 1e6,
+                "reconnection": rec["reconnect_seconds"],
+                "disk_io": rec["disk_io_seconds"],
+                "other": rec["other"],
+                "total": rec["total"],
+                "bytes_read_mb": rec["bytes_read"] / 1e6,
             }
     return out

@@ -1,0 +1,330 @@
+"""Parallel sweep runner with a content-addressed result cache.
+
+Every paper figure is a sweep of independent, deterministic experiments,
+so two properties fall out for free and this module exploits both:
+
+* **Parallelism** — cells share no state, so they fan out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``REPRO_JOBS`` or
+  all cores) and merge back in input order.  Each worker runs its cell
+  in a fresh interpreter with its own seeded
+  :class:`~repro.simulation.core.Environment`, so parallel results are
+  bit-identical to serial ones (asserted in
+  ``tests/test_determinism_digest.py``).
+* **Memoisation** — a cell's outcome is a pure function of its config
+  and the code that ran it, so payloads are cached on disk keyed by
+  ``sha256(config ‖ run-kwargs ‖ payload-version ‖ code fingerprint)``.
+  The code fingerprint hashes every ``src/repro/**/*.py`` byte: touch
+  any source file and the whole cache invalidates, so a hit can never
+  serve stale physics.
+
+Workers return *payloads* — reduced, JSON-ready dicts — rather than
+:class:`~repro.harness.experiment.ExperimentResult` objects, which hold
+live generators and cannot cross a process boundary.  A payload carries
+everything the figure drivers consume plus the cell's determinism digest
+(see :mod:`repro.harness.digest`) and the kernel counters.  Payloads are
+round-tripped through canonical JSON even when computed in-process, so
+fresh, parallel and cached results are byte-indistinguishable.
+
+Cache location: ``$REPRO_CACHE_DIR`` or ``.repro-cache/`` at the repo
+root; ``python -m repro.harness.sweep --clear`` (or deleting the
+directory) empties it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.harness.digest import canonical_json, config_fingerprint, result_digest
+from repro.harness.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    find_oracle_times,
+    run_experiment,
+)
+from repro.telemetry.registry import MetricRegistry
+
+# Bump to invalidate every cached payload when the payload *shape*
+# changes (the code fingerprint already covers behaviour changes).
+PAYLOAD_VERSION = 1
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else all cores."""
+    configured = os.environ.get("REPRO_JOBS", "")
+    if configured:
+        return max(1, int(configured))
+    return os.cpu_count() or 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``.repro-cache/`` at the repo root."""
+    configured = os.environ.get("REPRO_CACHE_DIR", "")
+    if configured:
+        return Path(configured)
+    return Path(__file__).resolve().parents[3] / ".repro-cache"
+
+
+def clear_cache(cache_dir: Path | None = None) -> int:
+    """Delete every cached payload; returns how many were removed."""
+    cdir = cache_dir if cache_dir is not None else default_cache_dir()
+    removed = 0
+    if cdir.is_dir():
+        for entry in sorted(cdir.glob("*.json")):
+            entry.unlink()
+            removed += 1
+    return removed
+
+
+_CODE_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``src/repro/**/*.py`` (path + bytes).
+
+    This is the cache's code-version salt: any source edit — even a
+    comment — invalidates all cached payloads.  Cheap (one read of the
+    tree) and safe; a finer-grained dependency analysis is not worth a
+    stale-physics bug.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parents[1]
+        h = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            h.update(path.relative_to(package_root).as_posix().encode("utf-8"))
+            h.update(b"\0")
+            h.update(path.read_bytes())
+        _CODE_FINGERPRINT = h.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One sweep cell: a config plus the ``run_experiment`` kwargs.
+
+    ``bins = (start, end, bin_width)`` additionally asks the worker for
+    the binned instantaneous-latency series (Fig. 15), which must be
+    computed in-process because raw per-tuple latencies never leave the
+    worker.
+    """
+
+    config: ExperimentConfig
+    failure_at: float | None = None
+    failure_targets: tuple[str, ...] | None = None
+    bins: tuple[float, float, float] | None = None
+
+    def key_material(self) -> dict[str, Any]:
+        return {
+            "version": PAYLOAD_VERSION,
+            "config": config_fingerprint(self.config),
+            "failure_at": self.failure_at,
+            "failure_targets": (
+                list(self.failure_targets) if self.failure_targets is not None else None
+            ),
+            "bins": list(self.bins) if self.bins is not None else None,
+        }
+
+
+def cell_key(spec: CellSpec) -> str:
+    """Content address of a cell: config ‖ kwargs ‖ version ‖ code salt."""
+    material = spec.key_material()
+    material["code"] = code_fingerprint()
+    return hashlib.sha256(canonical_json(material).encode("utf-8")).hexdigest()
+
+
+def reduce_result(result: ExperimentResult, spec: CellSpec) -> dict[str, Any]:
+    """Everything the figure drivers consume, as a JSON-ready dict."""
+    logs = result.checkpoint_logs
+    complete = [log for log in logs if getattr(log, "complete", False)]
+    checkpoint = None
+    if complete:
+        last = complete[-1]
+        slowest = last.slowest()
+        checkpoint = {
+            "wall_clock": last.wall_clock(),
+            "token_collection": slowest.token_collection,
+            "disk_io": slowest.disk_io,
+            "other": slowest.other,
+            "total": slowest.total,
+        }
+    recovery = None
+    recoveries = getattr(result.scheme, "recoveries", [])
+    if recoveries:
+        rec = recoveries[0]
+        recovery = {
+            "reconnect_seconds": rec.reconnect_seconds,
+            "disk_io_seconds": rec.disk_io_seconds,
+            "other": rec.other,
+            "total": rec.total,
+            "bytes_read": rec.bytes_read,
+        }
+    binned = None
+    if spec.bins is not None:
+        start, end, width = spec.bins
+        binned = [[t, v] for (t, v) in result.binned_latency(start, end, width)]
+    return {
+        "config": config_fingerprint(result.config),
+        "throughput": result.throughput,
+        "latency": result.latency,
+        "latency_percentiles": dict(sorted(result.latency_percentiles.items())),
+        "rounds_completed": len(complete),
+        "checkpoint": checkpoint,
+        "recovery": recovery,
+        "binned_latency": binned,
+        "digest": result_digest(result),
+        "kernel": result.runtime.env.kernel_stats(),
+    }
+
+
+def run_cell(spec: CellSpec) -> dict[str, Any]:
+    """Execute one cell and reduce it (module-level: pickled to workers).
+
+    The canonical-JSON round trip normalises tuples/floats so an
+    in-process payload is byte-identical to one that crossed a process
+    boundary or the disk cache.
+    """
+    result = run_experiment(
+        spec.config,
+        failure_at=spec.failure_at,
+        failure_targets=(
+            list(spec.failure_targets) if spec.failure_targets is not None else None
+        ),
+    )
+    return json.loads(canonical_json(reduce_result(result, spec)))
+
+
+@dataclass
+class SweepStats:
+    """What the runner did: worker fan-out and cache traffic."""
+
+    jobs: int = 1
+    cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed: int = 0
+    keys: list[str] = field(default_factory=list)
+
+    def publish(self, registry: MetricRegistry) -> None:
+        """Fold the cache counters into a telemetry registry."""
+        registry.counter("ms_sweep_cache_hits_total").inc(self.cache_hits)
+        registry.counter("ms_sweep_cache_misses_total").inc(self.cache_misses)
+
+
+def run_cells(
+    specs: list[CellSpec],
+    jobs: int | None = None,
+    cache_dir: Path | None = None,
+    use_cache: bool = True,
+    stats: SweepStats | None = None,
+) -> list[dict[str, Any]]:
+    """Run every cell — cached, then parallel — and merge in input order.
+
+    The returned list lines up index-for-index with ``specs`` regardless
+    of which cells were cache hits and in which order workers finished,
+    so callers observe a deterministic, serial-equivalent sweep.
+    """
+    jobs = jobs if jobs is not None else default_jobs()
+    if stats is None:
+        stats = SweepStats()
+    stats.jobs = jobs
+    stats.cells += len(specs)
+    cdir = (cache_dir if cache_dir is not None else default_cache_dir()) if use_cache else None
+
+    payloads: list[dict[str, Any] | None] = [None] * len(specs)
+    pending: list[tuple[int, CellSpec, Path | None]] = []
+    for i, spec in enumerate(specs):
+        if cdir is None:
+            pending.append((i, spec, None))
+            continue
+        key = cell_key(spec)
+        stats.keys.append(key)
+        path = cdir / f"{key}.json"
+        if path.is_file():
+            with open(path, encoding="utf-8") as fh:
+                payloads[i] = json.load(fh)
+            stats.cache_hits += 1
+        else:
+            stats.cache_misses += 1
+            pending.append((i, spec, path))
+
+    if pending:
+        stats.executed += len(pending)
+        if jobs > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                fresh = list(pool.map(run_cell, [spec for (_i, spec, _p) in pending]))
+        else:
+            fresh = [run_cell(spec) for (_i, spec, _p) in pending]
+        for (i, _spec, path), payload in zip(pending, fresh):
+            payloads[i] = payload
+            if path is not None:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_suffix(".tmp")
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    fh.write(canonical_json(payload))
+                os.replace(tmp, path)  # atomic: concurrent sweeps never see partial writes
+    return payloads  # type: ignore[return-value]
+
+
+def cached_oracle_times(
+    cfg: ExperimentConfig,
+    cache_dir: Path | None = None,
+    use_cache: bool = True,
+) -> list[float]:
+    """:func:`find_oracle_times` behind the same content-addressed cache.
+
+    The observation run is the most expensive part of Figs. 14/16; its
+    minima depend only on the config and the code, so they memoise under
+    the same invalidation rule as cell payloads.
+    """
+    if not use_cache:
+        return find_oracle_times(cfg)
+    material = {
+        "kind": "oracle-times",
+        "version": PAYLOAD_VERSION,
+        "config": config_fingerprint(cfg),
+        "code": code_fingerprint(),
+    }
+    key = hashlib.sha256(canonical_json(material).encode("utf-8")).hexdigest()
+    cdir = cache_dir if cache_dir is not None else default_cache_dir()
+    path = cdir / f"{key}.json"
+    if path.is_file():
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    times = find_oracle_times(cfg)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(canonical_json(times))
+    os.replace(tmp, path)
+    return times
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI for cache management: ``--clear`` empties the cache dir."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clear", action="store_true", help="delete every cached payload")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache/)")
+    args = parser.parse_args(argv)
+    cdir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    if args.clear:
+        print(f"removed {clear_cache(cdir)} cached payload(s) from {cdir}")
+        return 0
+    entries = sorted(cdir.glob("*.json")) if cdir.is_dir() else []
+    total = sum(e.stat().st_size for e in entries)
+    print(f"{cdir}: {len(entries)} cached payload(s), {total} bytes")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -6,12 +6,23 @@ seq, event)`` onto a heap.  A :class:`Process` wraps a generator: every
 ``yield`` hands back an event (or condition), and the process resumes when
 that event fires.  This mirrors the structure of SimPy, trimmed to what
 the reproduction needs and tuned for determinism.
+
+Fast paths (see DESIGN.md, "Kernel performance"): the kernel recycles
+hot-path event objects through per-environment free lists, resumes
+processes through pooled :class:`_Kick` markers instead of throwaway
+``boot:``/``rewait:``/``interrupt:`` events, allocates callback lists
+lazily, and settles events with inlined scheduling.  Every fast path
+preserves the ``(time, priority, seq)`` total order exactly — the heap
+receives the same entries with the same sequence numbers as the original
+slow paths, so same-seed runs remain bit-identical (checked by
+``benchmarks/DIGEST_baseline.json`` and ``python -m repro.harness.digest``).
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Generator, Iterable
-import heapq
+from heapq import heappop, heappush
+from sys import getrefcount
 from typing import Any
 
 from repro.observability.tracer import NULL_TRACER, Tracer
@@ -22,6 +33,10 @@ from repro.telemetry.registry import NULL_REGISTRY, MetricRegistry
 # settle before ordinary events fire.
 URGENT = 0
 NORMAL = 1
+
+# Per-environment free-list bound: big enough to absorb the steady-state
+# churn of a 56-node run, small enough that a burst never pins memory.
+_POOL_LIMIT = 512
 
 
 class SimulationError(Exception):
@@ -46,7 +61,12 @@ class Event:
     An event starts *pending*; :meth:`succeed` or :meth:`fail` settles it
     exactly once.  Callbacks registered before settlement run when the
     environment pops the event off the heap; callbacks registered after
-    settlement run immediately at the current simulated instant.
+    settlement run immediately at the current simulated instant (callers
+    check ``_flushed`` first — see :class:`_Condition` / :class:`Process`).
+
+    ``callbacks`` is ``None`` until the first waiter attaches, so events
+    nobody waits on (pure delays, fire-and-forget puts) never allocate a
+    list.  Use :meth:`add_callback` or handle the ``None`` case inline.
     """
 
     __slots__ = (
@@ -62,7 +82,7 @@ class Event:
 
     def __init__(self, env: "Environment", name: str = ""):
         self.env = env
-        self.callbacks: list[Callable[[Event], None]] = []
+        self.callbacks: list[Callable[[Event], None]] | None = None
         self._value: Any = None
         self._ok: bool | None = None
         self._settled = False
@@ -87,15 +107,47 @@ class Event:
             raise SimulationError(f"value of pending event {self!r}")
         return self._value
 
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Attach a callback, allocating the list on first use."""
+        cbs = self.callbacks
+        if cbs is None:
+            self.callbacks = [fn]
+        else:
+            cbs.append(fn)
+
+    def _recycle(self) -> None:
+        """Reset to pristine pre-settlement state before pooling.
+
+        Called by :meth:`Environment.step` only on provably-unreferenced
+        instances of registered pool classes; subclasses with extra
+        references override and chain up so the pool never pins objects.
+        """
+        self._value = None
+        self._ok = None
+        self._settled = False
+        self._scheduled = False
+        self._flushed = False
+        self.callbacks = None
+        self.name = ""
+
     # -- settlement --------------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
-        """Settle the event successfully, scheduling callbacks after ``delay``."""
+        """Settle the event successfully, scheduling callbacks after ``delay``.
+
+        Scheduling is inlined: a settleable event is never already on the
+        heap (pre-scheduled settled events — timeouts — bypass this path),
+        so the ``_scheduled`` guard of :meth:`Environment._schedule` is
+        statically true here.
+        """
         if self._settled:
             raise SimulationError(f"event {self!r} already settled")
         self._settled = True
         self._ok = True
         self._value = value
-        self.env._schedule(self, delay=delay)
+        self._scheduled = True
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (env._now + delay, NORMAL, seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -107,7 +159,10 @@ class Event:
         self._settled = True
         self._ok = False
         self._value = exception
-        self.env._schedule(self, delay=delay)
+        self._scheduled = True
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (env._now + delay, NORMAL, seq, self))
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -117,7 +172,12 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` simulated seconds after creation."""
+    """An event that fires ``delay`` simulated seconds after creation.
+
+    Prefer :meth:`Environment.timeout`, which recycles instances through
+    the environment's free list (a direct construction works identically
+    but always allocates).
+    """
 
     __slots__ = ("delay",)
 
@@ -130,6 +190,49 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         env._schedule(self, delay=delay)
+
+    def _recycle(self) -> None:
+        # A timeout is born settled, so _settled/_ok/_scheduled stay True
+        # in the pool; Environment.timeout() re-arms _flushed/delay/_value.
+        self._value = None
+        self.callbacks = None
+
+
+class _Kick:
+    """A pooled direct-resume marker on the event heap.
+
+    Replaces the throwaway ``boot:``/``rewait:``/``interrupt:`` kick
+    events: when popped, :meth:`fire` sends the settled value (or throws
+    the stored exception) straight into the waiting generator — no Event
+    allocation, no callback-list flush.  A kick occupies a heap slot with
+    the same ``(time, priority, seq)`` it would have had as an event, so
+    the total order is untouched.  Kicks are engine-internal and never
+    escape to model code, so they recycle unconditionally after firing.
+    """
+
+    __slots__ = ("env", "process", "target", "throw")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.process: Process | None = None
+        self.target: Event | None = None
+        self.throw: BaseException | None = None
+
+    def fire(self) -> None:
+        proc, target, throw = self.process, self.target, self.throw
+        self.process = self.target = self.throw = None
+        pool = self.env._kick_pool
+        if len(pool) < _POOL_LIMIT:
+            pool.append(self)
+        if throw is not None:
+            # interrupt: _step itself ignores already-finished processes
+            proc._step(throw=throw)
+        elif target is not None:
+            # rewait: deliver the flushed target's outcome
+            proc._resume(target)
+        elif not proc._settled:
+            # boot: first resumption of a fresh generator
+            proc._step(send=None)
 
 
 class _Condition(Event):
@@ -154,7 +257,7 @@ class _Condition(Event):
             else:
                 # Pending, or settled but not yet fired (e.g. a Timeout whose
                 # delay has not elapsed): wait for its callback flush.
-                ev.callbacks.append(self._observe)
+                ev.add_callback(self._observe)
 
     def _collect(self) -> dict[Event, Any]:
         return {ev: ev.value for ev in self.events if ev._flushed and ev.ok}
@@ -211,10 +314,9 @@ class Process(Event):
         self._generator = generator
         self._waiting_on: Event | None = None
         self.label = label
-        # Bootstrap: resume once at the current instant.
-        boot = Event(env, name=f"boot:{label}")
-        boot.callbacks.append(self._resume)
-        boot.succeed()
+        # Bootstrap: resume once at the current instant (pooled kick; same
+        # heap slot the old `boot:` event occupied).
+        env._schedule_kick(self)
 
     @property
     def is_alive(self) -> bool:
@@ -222,32 +324,31 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current instant."""
-        if self.triggered:
+        if self._settled:
             return  # interrupting a finished process is a no-op
         # Detach from whatever we were waiting on so its later settlement
         # does not resume us twice.
         waited = self._waiting_on
-        if waited is not None and self._resume in waited.callbacks:
+        if waited is not None and waited.callbacks and self._resume in waited.callbacks:
             waited.callbacks.remove(self._resume)
         self._waiting_on = None
-        kick = Event(self.env, name=f"interrupt:{self.label}")
-        kick.callbacks.append(lambda _ev: self._step(throw=Interrupt(cause)))
-        kick.succeed(delay=0.0)
+        self.env._schedule_kick(self, throw=Interrupt(cause))
 
     # -- internal ----------------------------------------------------------
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
-        if self.triggered:
+        if self._settled:
             return
-        if event.ok:
-            self._step(send=event.value)
+        if event._ok:
+            self._step(send=event._value)
         else:
-            self._step(throw=event.value)
+            self._step(throw=event._value)
 
     def _step(self, send: Any = None, throw: BaseException | None = None) -> None:
-        if self.triggered:
+        if self._settled:
             return
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         try:
             if throw is not None:
                 target = self._generator.throw(throw)
@@ -265,7 +366,7 @@ class Process(Event):
             self.fail(exc)
             return
         finally:
-            self.env._active_process = None
+            env._active_process = None
 
         if not isinstance(target, Event):
             self._generator.close()
@@ -274,12 +375,14 @@ class Process(Event):
         self._waiting_on = target
         if target._flushed:
             # The event already flushed its callbacks (it fired in the past):
-            # resume via a fresh event so we stay in heap order.
-            kick = Event(self.env, name=f"rewait:{self.label}")
-            kick.callbacks.append(lambda _ev: self._resume(target))
-            kick.succeed()
+            # resume via a pooled kick so we stay in heap order.
+            env._schedule_kick(self, target=target)
         else:
-            target.callbacks.append(self._resume)
+            cbs = target.callbacks
+            if cbs is None:
+                target.callbacks = [self._resume]
+            else:
+                cbs.append(self._resume)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.triggered else "alive"
@@ -288,6 +391,20 @@ class Process(Event):
 
 class Environment:
     """Holds the clock and the event heap; runs the simulation."""
+
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_seq",
+        "_active_process",
+        "trace",
+        "telemetry",
+        "_pools",
+        "_kick_pool",
+        "events_popped",
+        "pool_hits",
+        "pool_misses",
+    )
 
     def __init__(self):
         self._now: float = 0.0
@@ -300,6 +417,13 @@ class Environment:
         # Runtime telemetry (repro.telemetry): same contract as tracing —
         # the shared no-op registry keeps disabled instrumentation free.
         self.telemetry = NULL_REGISTRY
+        # Free lists (never shared across environments), keyed by exact
+        # class; subclasses join via register_pool().  Plus kernel counters.
+        self._pools: dict[type, list[Event]] = {Event: [], Timeout: []}
+        self._kick_pool: list[_Kick] = []
+        self.events_popped = 0
+        self.pool_hits = 0
+        self.pool_misses = 0
 
     def enable_tracing(self, tracer: Tracer | None = None) -> Tracer:
         """Attach a :class:`~repro.observability.tracer.Tracer` (a fresh
@@ -327,11 +451,75 @@ class Environment:
     def active_process(self) -> Process | None:
         return self._active_process
 
+    # -- kernel statistics ---------------------------------------------------
+    def kernel_stats(self) -> dict[str, int]:
+        """Counters of the engine's own work (not simulated behaviour)."""
+        return {
+            "events_popped": self.events_popped,
+            "pool_hits": self.pool_hits,
+            "pool_misses": self.pool_misses,
+        }
+
+    def publish_kernel_metrics(self) -> None:
+        """Fold the kernel counters into ``env.telemetry`` (one shot, at
+        end of run — per-pop increments would tax the hot loop)."""
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return
+        telemetry.counter("ms_kernel_events_popped_total").inc(self.events_popped)
+        telemetry.counter("ms_kernel_pool_hits_total").inc(self.pool_hits)
+        telemetry.counter("ms_kernel_pool_misses_total").inc(self.pool_misses)
+
+    # -- event pooling -------------------------------------------------------
+    def register_pool(self, cls: type) -> None:
+        """Opt an :class:`Event` subclass into step()-time recycling.
+
+        The class must define ``_recycle`` to clear every extra reference
+        it holds (see :meth:`Event._recycle`); instances come back via
+        :meth:`acquire`.  Only exact-type matches are pooled.
+        """
+        self._pools.setdefault(cls, [])
+
+    def acquire(self, cls: type) -> Event | None:
+        """A recycled, reset instance of a registered class, or None.
+
+        The caller re-initialises its own fields; the Event core is
+        already pristine (``_recycle`` ran at recycle time).
+        """
+        pool = self._pools.get(cls)
+        if pool:
+            self.pool_hits += 1
+            return pool.pop()
+        self.pool_misses += 1
+        return None
+
     # -- factories ----------------------------------------------------------
     def event(self, name: str = "") -> Event:
+        pool = self._pools[Event]
+        if pool:
+            self.pool_hits += 1
+            ev = pool.pop()
+            ev.name = name
+            return ev
+        self.pool_misses += 1
         return Event(self, name=name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        pool = self._pools[Timeout]
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay!r}")
+            self.pool_hits += 1
+            t = pool.pop()
+            t.delay = delay
+            t._value = value
+            t._flushed = False
+            # _settled/_ok/_scheduled were left True by the recycler; the
+            # schedule below mirrors Timeout.__init__ exactly.
+            self._seq = seq = self._seq + 1
+            heappush(self._heap, (self._now + delay, NORMAL, seq, t))
+            return t
+        self.pool_misses += 1
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, label: str = "") -> Process:
@@ -348,21 +536,63 @@ class Environment:
         if event._scheduled:
             return
         event._scheduled = True
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self._now + delay, priority, seq, event))
+
+    def _schedule_kick(
+        self,
+        process: Process,
+        target: Event | None = None,
+        throw: BaseException | None = None,
+    ) -> None:
+        """Schedule a pooled direct-resume marker at the current instant.
+
+        Takes the same heap slot (NORMAL priority, next sequence number)
+        the old kick events took, so resumption order is unchanged."""
+        pool = self._kick_pool
+        if pool:
+            kick = pool.pop()
+        else:
+            kick = _Kick(self)
+        kick.process = process
+        kick.target = target
+        kick.throw = throw
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self._now, NORMAL, seq, kick))
 
     def step(self) -> None:
         """Pop and fire the next event; advances the clock."""
-        if not self._heap:
+        heap = self._heap
+        if not heap:
             raise SimulationError("step() on empty schedule")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
-        if when < self._now - 1e-12:
+        when, _prio, _seq, event = heappop(heap)
+        now = self._now
+        if when < now - 1e-12:
             raise SimulationError("event scheduled in the past")
-        self._now = max(self._now, when)
+        if when > now:
+            self._now = when
+        self.events_popped += 1
+        cls = event.__class__
+        if cls is _Kick:
+            event.fire()
+            return
         event._flushed = True
-        callbacks, event.callbacks = event.callbacks, []
-        for cb in callbacks:
-            cb(event)
+        callbacks = event.callbacks
+        if callbacks is not None:
+            event.callbacks = None
+            for cb in callbacks:
+                cb(event)
+        # Recycle provably-unreferenced hot-path events: refcount 2 means
+        # only this frame's local and getrefcount's argument hold the
+        # object, so no generator, condition, or model structure can ever
+        # observe it again — reuse is invisible.  The exact-class pool
+        # lookup keeps unregistered subclasses (conditions, processes,
+        # resource requests) out.
+        if getrefcount(event) == 2:
+            pool = self._pools.get(cls)
+            if pool is not None and len(pool) < _POOL_LIMIT:
+                event._recycle()
+                pool.append(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
@@ -376,28 +606,28 @@ class Environment:
           value (raises if it failed).
         * ``until`` is None → run until no events remain.
         """
+        step = self.step
         if until is None:
-            while self._heap:
-                self.step()
+            heap = self._heap
+            while heap:
+                step()
             return None
         if isinstance(until, Event):
             sentinel = until
-            done = {"hit": sentinel._flushed}
-            if not done["hit"]:
-                sentinel.callbacks.append(lambda _ev: done.__setitem__("hit", True))
-            while not done["hit"]:
+            while not sentinel._flushed:
                 if not self._heap:
                     if sentinel.triggered:
                         break
                     raise SimulationError("schedule exhausted before until-event fired")
-                self.step()
+                step()
             if not sentinel.ok:
                 raise sentinel.value
             return sentinel.value
         horizon = float(until)
         if horizon < self._now:
             raise SimulationError("cannot run backwards in time")
-        while self._heap and self._heap[0][0] <= horizon:
-            self.step()
+        heap = self._heap
+        while heap and heap[0][0] <= horizon:
+            step()
         self._now = horizon
         return None

@@ -103,6 +103,10 @@ class _Get(Event):
         if not self.triggered:
             self.store._abandon_get(self)
 
+    def _recycle(self) -> None:
+        super()._recycle()
+        self.store = None
+
 
 class _Put(Event):
     __slots__ = ("store", "item")
@@ -115,6 +119,11 @@ class _Put(Event):
     def cancel(self) -> None:
         if not self.triggered:
             self.store._abandon_put(self)
+
+    def _recycle(self) -> None:
+        super()._recycle()
+        self.store = None
+        self.item = None
 
 
 class Store:
@@ -134,6 +143,10 @@ class Store:
         self.items: deque[Any] = deque()
         self._getters: deque[_Get] = deque()
         self._putters: deque[_Put] = deque()
+        # Get/put events churn once per tuple hop; recycle them through
+        # the environment's free lists (shared across stores per class).
+        env.register_pool(_Get)
+        env.register_pool(_Put)
 
     def __len__(self) -> int:
         return len(self.items)
@@ -143,7 +156,22 @@ class Store:
         return tuple(self.items)
 
     def put(self, item: Any) -> _Put:
-        ev = _Put(self.env, self, item)
+        ev = self.env.acquire(_Put)
+        if ev is None:
+            ev = _Put(self.env, self, item)
+        else:
+            ev.store = self
+            ev.item = item
+        # Fast path: room and no queued putters (the steady state) — accept
+        # in place, skipping the _drain loop.  The succeed order matches
+        # _drain exactly: the put settles first, then (via the virtual
+        # _drain, so PriorityStore keeps its min-scan) any waiting getter.
+        if not self._putters and len(self.items) < self.capacity:
+            self.items.append(ev.item)
+            ev.succeed()
+            if self._getters:
+                self._drain()
+            return ev
         self._putters.append(ev)
         self._drain()
         return ev
@@ -159,7 +187,22 @@ class Store:
         self._drain()
 
     def get(self) -> _Get:
-        ev = _Get(self.env, self)
+        ev = self.env.acquire(_Get)
+        if ev is None:
+            ev = _Get(self.env, self)
+        else:
+            ev.store = self
+        # Fast path: an item is ready (getters must be empty then — _drain
+        # never leaves both getters and items).  Succeed order matches
+        # _drain: the get settles first, then at most one backpressured
+        # putter is admitted into the slot just freed.
+        if self.items and not self._getters:
+            ev.succeed(self.items.popleft())
+            if self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+            return ev
         self._getters.append(ev)
         self._drain()
         return ev
@@ -209,7 +252,22 @@ class PriorityStore(Store):
         return super().put((item, self._seq))
 
     def get(self) -> _Get:
-        ev = _Get(self.env, self)
+        ev = self.env.acquire(_Get)
+        if ev is None:
+            ev = _Get(self.env, self)
+        else:
+            ev.store = self
+        # Fast path mirroring Store.get, with the min-scan pick.
+        if self.items and not self._getters:
+            best_idx = min(range(len(self.items)), key=lambda i: self.items[i])
+            item, _seq = self.items[best_idx]
+            del self.items[best_idx]
+            ev.succeed(item)
+            if self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+            return ev
         self._getters.append(ev)
         self._drain()
         return ev
@@ -249,7 +307,7 @@ class Gate:
         return self._opened
 
     def wait(self) -> Event:
-        ev = Event(self.env, name="gate")
+        ev = self.env.event(name="gate")
         if self._opened:
             ev.succeed()
         else:

@@ -135,3 +135,71 @@ def test_checked_in_baseline_has_latency_cells():
     report = check_regression.load_report(str(check_regression.DEFAULT_BASELINE))
     lat = check_regression.cell_values(report, "latency")
     assert lat, "BENCH_baseline.json should carry per-cell latency"
+
+
+# -- kernel microbenchmark gate (warn-only wall clock; hard events_popped) ----
+
+def _kernel(wall=2.0, eps=100_000.0, popped=272_490, mode="fast"):
+    return {
+        "mode": mode,
+        "wall_seconds": wall,
+        "events_per_sec": eps,
+        "events_popped": popped,
+        "pool_hits": 240_000,
+        "pool_misses": 1_000,
+    }
+
+
+def _with_kernel(tmp_path, base_kernel, cur_kernel):
+    rep = _report([_cell()])
+    base = dict(rep)
+    base["kernel"] = base_kernel
+    base_path = _write(tmp_path, "base.json", base)
+    cur_path = _write(tmp_path, "cur.json", rep)
+    (tmp_path / "BENCH_kernel.json").write_text(json.dumps(cur_kernel))
+    return cur_path, base_path
+
+
+def test_kernel_wall_regression_is_warn_only(tmp_path, capsys):
+    cur, base = _with_kernel(tmp_path, _kernel(wall=1.0, eps=200_000.0), _kernel(wall=3.0, eps=50_000.0))
+    assert check_regression.main([cur, "--baseline", base]) == check_regression.EXIT_OK
+    out = capsys.readouterr().out
+    assert "warn-only" in out
+    assert "wall_seconds" in out and "events_per_sec" in out
+
+
+def test_kernel_wall_within_tolerance_is_silent(tmp_path, capsys):
+    cur, base = _with_kernel(tmp_path, _kernel(wall=2.0), _kernel(wall=2.2))
+    assert check_regression.main([cur, "--baseline", base]) == check_regression.EXIT_OK
+    assert "warn-only" not in capsys.readouterr().out
+
+
+def test_kernel_events_popped_drift_fails_hard(tmp_path):
+    cur, base = _with_kernel(tmp_path, _kernel(popped=272_490), _kernel(popped=272_491))
+    assert (
+        check_regression.main([cur, "--baseline", base])
+        == check_regression.EXIT_THROUGHPUT
+    )
+
+
+def test_kernel_gate_skipped_without_report(tmp_path, capsys):
+    base = dict(_report([_cell()]))
+    base["kernel"] = _kernel()
+    base_path = _write(tmp_path, "base.json", base)
+    cur_path = _write(tmp_path, "cur.json", _report([_cell()]))
+    assert check_regression.main([cur_path, "--baseline", base_path]) == check_regression.EXIT_OK
+    assert "kernel gate skipped" in capsys.readouterr().out
+
+
+def test_kernel_mode_mismatch_skips_comparison(tmp_path, capsys):
+    cur, base = _with_kernel(tmp_path, _kernel(mode="full"), _kernel(popped=1, mode="fast"))
+    assert check_regression.main([cur, "--baseline", base]) == check_regression.EXIT_OK
+    assert "mode mismatch" in capsys.readouterr().out
+
+
+def test_checked_in_baseline_has_kernel_fields():
+    report = check_regression.load_report(str(check_regression.DEFAULT_BASELINE))
+    kernel = report.get("kernel")
+    assert kernel, "BENCH_baseline.json should carry the kernel microbench fields"
+    for key in ("wall_seconds", "events_per_sec", "events_popped"):
+        assert key in kernel

@@ -107,7 +107,7 @@ def test_resource_grants_by_priority_class(priorities):
     reqs = []
     for i, p in enumerate(priorities):
         req = res.request(priority=p)
-        req.callbacks.append(lambda _ev, i=i: granted.append(i))
+        req.add_callback(lambda _ev, i=i: granted.append(i))
         reqs.append((p, i, req))
 
     def release_all():
