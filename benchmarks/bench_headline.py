@@ -64,6 +64,7 @@ def test_headline_numbers(benchmark, get_sweep, sweep_stats, write_artifact):
                 "latency_p95": c.latency_p95,
                 "latency_p99": c.latency_p99,
                 "rounds_completed": c.rounds_completed,
+                "critical_path_seconds": c.critical_path_seconds,
             }
             for c in sweep.cells
         ],
@@ -140,10 +141,19 @@ def test_trace_artifact(write_artifact):
     summary = res.trace_summary()
     assert summary["rounds"], "traced run should record checkpoint rounds"
     assert summary["recoveries"], "traced run should record the global rollback"
+    # causal reconstruction: every completed round has a critical path
+    # that tiles [round.start, round.complete] exactly
+    paths = res.critical_paths()
+    assert paths, "traced run should yield at least one critical path"
+    for p in paths:
+        assert abs(p.hop_sum() - p.seconds) < 1e-9
     print("\n" + res.trace_report())
     path = write_artifact("TRACE_summary.json", summary)
     if path is not None:
-        res.write_trace(os.path.join(os.path.dirname(path), "TRACE_events.jsonl"))
+        art_dir = os.path.dirname(path)
+        res.write_trace(os.path.join(art_dir, "TRACE_events.jsonl"))
+        # Perfetto-loadable timeline (ui.perfetto.dev -> Open trace file)
+        res.write_chrome_trace(os.path.join(art_dir, "TRACE_headline.perfetto.json"))
 
 
 def test_telemetry_artifact(write_artifact):

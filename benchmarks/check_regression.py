@@ -25,6 +25,14 @@ never changes the exit status.  ``events_popped`` drift, by contrast, is
 deterministic and *does* fail: the engine doing a different amount of
 work for the same config means the event order changed.
 
+A fourth, also **warn-only**, gate tracks each cell's
+``critical_path_seconds`` (the slowest per-round checkpoint critical
+path, reconstructed from the cell's trace): growth beyond
+``--critical-path-tolerance`` (default 25%) prints a warning.  The
+quantity is deterministic, but it measures the *checkpoint wave's*
+shape rather than the paper's headline throughput/latency, so it warns
+rather than fails while the profiler is young.
+
 Usage::
 
     python benchmarks/check_regression.py artifacts/BENCH_headline.json \
@@ -145,6 +153,36 @@ def compare(
     return regressions, lat_regressions, notes
 
 
+def compare_critical_path(
+    current: dict,
+    baseline: dict,
+    tolerance: float,
+) -> list[str]:
+    """Warn-only: per-cell critical-path seconds growing past tolerance.
+
+    Cells absent from either report, or with a non-positive baseline
+    (no round completed in that cell), are skipped silently — the gate
+    is backward compatible with baselines that predate the profiler.
+    """
+    warnings: list[str] = []
+    cur = cell_values(current, "critical_path_seconds")
+    base = cell_values(baseline, "critical_path_seconds")
+    for key in sorted(base):
+        app, scheme, n = key
+        b = base[key]
+        c = cur.get(key)
+        if c is None or b <= 0.0:
+            continue
+        delta = c / b - 1.0
+        if delta > tolerance:
+            warnings.append(
+                f"{app}/{scheme}@{n}: critical path {c:g}s vs baseline {b:g}s "
+                f"({delta:+.1%}), beyond --critical-path-tolerance "
+                f"{tolerance:.0%} (warn-only)"
+            )
+    return warnings
+
+
 def compare_kernel(
     kernel: dict,
     baseline_kernel: dict,
@@ -198,6 +236,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--wall-tolerance", type=float, default=0.5,
                         help="warn-only threshold for kernel wall-clock growth / "
                              "events-per-second drop (default 0.5)")
+    parser.add_argument("--critical-path-tolerance", type=float, default=0.25,
+                        help="warn-only threshold for per-cell checkpoint "
+                             "critical-path growth (default 0.25)")
     args = parser.parse_args(argv)
 
     try:
@@ -209,6 +250,9 @@ def main(argv: list[str] | None = None) -> int:
 
     regressions, lat_regressions, notes = compare(
         current, baseline, args.tolerance, args.latency_tolerance
+    )
+    notes.extend(
+        compare_critical_path(current, baseline, args.critical_path_tolerance)
     )
 
     # kernel microbenchmark (wall-clock warn-only; events_popped hard)

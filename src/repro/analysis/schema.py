@@ -350,8 +350,66 @@ class TraceSchemaRule(Rule):
             )
 
 
+@register
+class ProfilingSpanKindsRule(Rule):
+    """TRC002 — profiling SPAN_KINDS stays a subset of tracer.KINDS."""
+
+    id = "TRC002"
+    title = "profiling span kinds exist in the tracer KINDS vocabulary"
+    rationale = (
+        "the span builder reconstructs timelines by matching event kinds "
+        "verbatim; a SPAN_KINDS entry absent from KINDS can never appear "
+        "in a trace, so the corresponding span silently never forms and "
+        "critical paths are quietly wrong"
+    )
+    severity = Severity.ERROR
+    node_types = (ast.Assign,)
+
+    def __init__(self) -> None:
+        self._span_kinds: list[tuple[str, int, str]] = []  # (kind, lineno, relpath)
+        self._kinds: set[str] | None = None
+
+    def visit(self, ctx: ModuleContext, node: ast.Assign) -> None:
+        if len(node.targets) != 1:
+            return
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            return
+        if target.id not in ("KINDS", "SPAN_KINDS"):
+            return
+        if not isinstance(node.value, (ast.Tuple, ast.List)):
+            return
+        if target.id == "KINDS":
+            if self._kinds is None:
+                self._kinds = {
+                    k for k in (const_str(e) for e in node.value.elts) if k is not None
+                }
+            return
+        for elt in node.value.elts:
+            kind = const_str(elt)
+            if kind is not None:
+                self._span_kinds.append((kind, elt.lineno, ctx.relpath))
+
+    def finalize(self, project) -> None:
+        if not self._span_kinds or self._kinds is None:
+            return
+        for kind, lineno, relpath in self._span_kinds:
+            if kind not in self._kinds:
+                project.report(
+                    self,
+                    path=relpath,
+                    line=lineno,
+                    col=1,
+                    message=(
+                        f"profiling span kind `{kind}` has no matching entry in "
+                        "tracer.KINDS — the span can never be reconstructed"
+                    ),
+                )
+
+
 __all__ = [
     "MetricSchemaRule",
+    "ProfilingSpanKindsRule",
     "TraceSchemaRule",
     "parse_metric_schema",
     "parse_trace_schema",

@@ -125,7 +125,11 @@ class MeteorShowerBase(CheckpointScheme):
     def log_for(self, round_id: int) -> CheckpointLog:
         log = self.logs.get(round_id)
         if log is None:
-            log = CheckpointLog(round_id=round_id, started_at=self.runtime.env.now)
+            log = CheckpointLog(
+                round_id=round_id,
+                started_at=self.runtime.env.now,
+                expected_haus=tuple(sorted(self.runtime.app.graph.haus)),
+            )
             self.logs[round_id] = log
         return log
 

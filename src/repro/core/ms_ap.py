@@ -53,6 +53,14 @@ class MSSrcAP(MeteorShowerBase):
         env = self.runtime.env
         st = self.round_state(hau.hau_id, round_id)
         st.command_at = env.now
+        if env.trace.enabled:
+            env.trace.emit(
+                "checkpoint.command",
+                t=env.now,
+                subject=hau.hau_id,
+                round=round_id,
+                via="control",
+            )
         # Tuples already queued in the output buffers become post-token
         # once the 1-hop token is inserted at the head: save copies.
         st.out_copies = hau.outbox_tuples()
@@ -62,6 +70,14 @@ class MSSrcAP(MeteorShowerBase):
             # Sources (no upstream neighbours) are immediately ready.
             st.ready = True
             st.tokens_done_at = env.now
+            if env.trace.enabled:
+                env.trace.emit(
+                    "checkpoint.tokens.done",
+                    t=env.now,
+                    subject=hau.hau_id,
+                    round=round_id,
+                    edges=0,
+                )
         return
         yield  # pragma: no cover
 
@@ -71,7 +87,16 @@ class MSSrcAP(MeteorShowerBase):
         st.arrivals.add(edge_idx)
         if len(st.arrivals) == len(hau.in_edges) and not st.ready:
             st.ready = True
-            st.tokens_done_at = self.runtime.env.now
+            env = self.runtime.env
+            st.tokens_done_at = env.now
+            if env.trace.enabled:
+                env.trace.emit(
+                    "checkpoint.tokens.done",
+                    t=env.now,
+                    subject=hau.hau_id,
+                    round=token.round_id,
+                    edges=len(st.arrivals),
+                )
 
     def handle_token(self, hau: HAURuntime, edge_idx: int, token: Token):
         """Popped from the inbox: erase; block the edge until the snapshot."""

@@ -81,6 +81,13 @@ class GlobalRecovery:
         def recover_one(hau_id: str):
             node = assignments[hau_id]
             t0 = env.now
+            if env.trace.enabled:
+                env.trace.emit(
+                    "recovery.hau.start",
+                    t=t0,
+                    subject=hau_id,
+                    node=node.node_id,
+                )
             yield env.timeout(self.costs.reload_seconds)  # phase 1: reload
             t1 = env.now
             payload = None

@@ -9,6 +9,8 @@ from repro.harness.experiment import (
     StateTraceRecorder,
 )
 from repro.harness.figures import (
+    SweepCell,
+    SweepResult,
     fig5_state_traces,
     fig12_fig13_sweep,
     fig14_checkpoint_time,
@@ -46,6 +48,8 @@ __all__ = [
     "make_scheme",
     "find_oracle_times",
     "StateTraceRecorder",
+    "SweepCell",
+    "SweepResult",
     "fig5_state_traces",
     "fig12_fig13_sweep",
     "fig14_checkpoint_time",

@@ -116,7 +116,43 @@ class ExperimentResult:
         return summarize(self.tracer)
 
     def trace_report(self) -> str:
-        return render_summary(self.trace_summary())
+        report = render_summary(self.trace_summary())
+        paths = self.critical_paths()
+        if paths:
+            lines = ["", "critical paths:"]
+            for p in paths:
+                chain = " > ".join(h.kind for h in p.hops)
+                lines.append(
+                    f"  round {p.round_id}: {p.seconds:.3f}s"
+                    f" gated by {p.gating_hau} [{chain}]"
+                )
+            report += "\n".join(lines)
+        return report
+
+    # -- causal timelines (repro.profiling) --------------------------------
+    def timeline(self):
+        """The run's causal span tree (checkpoint waves + recoveries)."""
+        if self.tracer is None:
+            raise RuntimeError("run_experiment(..., trace=True) to record a trace")
+        from repro.profiling import build_timeline
+
+        return build_timeline(self.tracer)
+
+    def critical_paths(self):
+        """Per-round token-propagation critical paths (complete rounds)."""
+        if self.tracer is None:
+            raise RuntimeError("run_experiment(..., trace=True) to record a trace")
+        from repro.profiling import critical_paths
+
+        return critical_paths(self.tracer.events)
+
+    def write_chrome_trace(self, path: str) -> int:
+        """Export the run as Perfetto-loadable trace-event JSON."""
+        if self.tracer is None:
+            raise RuntimeError("run_experiment(..., trace=True) to record a trace")
+        from repro.profiling import write_chrome_trace
+
+        return write_chrome_trace(self.tracer, path)
 
     def binned_latency(self, start: float, end: float, bin_width: float = 2.0):
         probe = self.runtime.app.params.get("probe_prefix", "")

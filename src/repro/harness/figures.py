@@ -108,6 +108,9 @@ class SweepCell:
     latency_p50: float = 0.0
     latency_p95: float = 0.0
     latency_p99: float = 0.0
+    # Slowest per-round token-propagation critical path (seconds); 0.0
+    # when no round completed (n=0 sweeps, scheme "none").
+    critical_path_seconds: float = 0.0
 
 
 @dataclass
@@ -204,17 +207,20 @@ def fig12_fig13_sweep(
                         latency_p50=ref.latency_p50,
                         latency_p95=ref.latency_p95,
                         latency_p99=ref.latency_p99,
+                        critical_path_seconds=ref.critical_path_seconds,
                     )
                 )
             continue
         p = payloads[idx]
         pct = p["latency_percentiles"]
+        cp = p.get("critical_path") or {}
         result.cells.append(
             SweepCell(
                 app, scheme, n, p["throughput"], p["latency"], p["rounds_completed"],
                 latency_p50=pct.get("p50", 0.0),
                 latency_p95=pct.get("p95", 0.0),
                 latency_p99=pct.get("p99", 0.0),
+                critical_path_seconds=cp.get("max_seconds", 0.0),
             )
         )
     return result

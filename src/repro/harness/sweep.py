@@ -51,7 +51,8 @@ from repro.telemetry.registry import MetricRegistry
 
 # Bump to invalidate every cached payload when the payload *shape*
 # changes (the code fingerprint already covers behaviour changes).
-PAYLOAD_VERSION = 1
+# v2: cells run traced and carry per-round critical-path seconds.
+PAYLOAD_VERSION = 2
 
 
 def default_jobs() -> int:
@@ -168,6 +169,16 @@ def reduce_result(result: ExperimentResult, spec: CellSpec) -> dict[str, Any]:
     if spec.bins is not None:
         start, end, width = spec.bins
         binned = [[t, v] for (t, v) in result.binned_latency(start, end, width)]
+    critical_path = None
+    if result.tracer is not None:
+        paths = result.critical_paths()
+        if paths:
+            seconds = [p.seconds for p in paths]
+            critical_path = {
+                "rounds": {str(p.round_id): p.seconds for p in paths},
+                "max_seconds": max(seconds),
+                "mean_seconds": sum(seconds) / len(seconds),
+            }
     return {
         "config": config_fingerprint(result.config),
         "throughput": result.throughput,
@@ -176,6 +187,7 @@ def reduce_result(result: ExperimentResult, spec: CellSpec) -> dict[str, Any]:
         "rounds_completed": len(complete),
         "checkpoint": checkpoint,
         "recovery": recovery,
+        "critical_path": critical_path,
         "binned_latency": binned,
         "digest": result_digest(result),
         "kernel": result.runtime.env.kernel_stats(),
@@ -195,6 +207,10 @@ def run_cell(spec: CellSpec) -> dict[str, Any]:
         failure_targets=(
             list(spec.failure_targets) if spec.failure_targets is not None else None
         ),
+        # Tracing only appends to an event list — it never schedules
+        # simulation events — so digests and physics are unchanged while
+        # every cell gains its causal timeline (critical-path seconds).
+        trace=True,
     )
     return json.loads(canonical_json(reduce_result(result, spec)))
 

@@ -87,6 +87,10 @@ class CheckpointLog:
     started_at: float
     haus: dict[str, CheckpointBreakdown] = field(default_factory=dict)
     completed_at: float | None = None
+    # Every HAU the round was supposed to cover, stamped at round start.
+    # Without it a round interrupted before an HAU even saw the command
+    # leaves no breakdown behind, and the round would read as clean.
+    expected_haus: tuple[str, ...] = ()
 
     def breakdown(self, hau_id: str) -> CheckpointBreakdown:
         bd = self.haus.get(hau_id)
@@ -104,8 +108,13 @@ class CheckpointLog:
 
         Non-empty on rounds cut short by a failure; those breakdowns'
         clamped spans read as zeros and must not be averaged into Fig. 14.
+        Covers both HAUs whose breakdown stalled mid-phase *and* expected
+        HAUs that never recorded a breakdown at all (the command or token
+        died with the failure before reaching them).
         """
-        return sorted(h for h, b in self.haus.items() if not b.complete)
+        stalled = {h for h, b in self.haus.items() if not b.complete}
+        missing = {h for h in self.expected_haus if h not in self.haus}
+        return sorted(stalled | missing)
 
     def slowest(self) -> CheckpointBreakdown | None:
         """The slowest individual checkpoint (the §IV-B measurement for

@@ -31,6 +31,8 @@ KINDS = (
     "token.send",  # a checkpoint token left an HAU along one edge
     "token.recv",  # a checkpoint token landed in an HAU's inbox
     "checkpoint.round.start",  # a scheme initiated an application checkpoint
+    "checkpoint.command",  # an HAU learned of the round (control msg or first token)
+    "checkpoint.tokens.done",  # an HAU has seen tokens on all of its input edges
     "checkpoint.start",  # one HAU began its individual checkpoint
     "checkpoint.write.start",  # the state write to shared storage began
     "checkpoint.commit",  # the state write completed (version assigned)
@@ -41,6 +43,7 @@ KINDS = (
     "failure.inject",  # the injector (or harness) killed a node/rack
     "failure.detected",  # the controller's watcher observed dead HAUs
     "recovery.start",  # global rollback began
+    "recovery.hau.start",  # one HAU began its reload/read/deserialise phases
     "recovery.hau",  # one HAU finished its reload/read/deserialise phases
     "recovery.reconnect",  # phase 4: controller re-wired the application
     "recovery.replay",  # preserved source tuples queued for replay

@@ -1,0 +1,64 @@
+"""Causal timeline profiler: spans, critical paths, Perfetto export.
+
+Consumes a run's deterministic trace stream (live tracer, event list or
+JSONL dicts) and reconstructs causal structure:
+
+* :func:`build_timeline` — checkpoint waves, recovery timelines and
+  per-HAU phase attribution (:mod:`repro.profiling.spans`)
+* :func:`compute_critical_path` / :func:`critical_paths` — the longest
+  causal chain gating each round, plus :func:`straggler_report`
+  (:mod:`repro.profiling.critical_path`)
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — deterministic
+  Chrome trace-event JSON for Perfetto / ``chrome://tracing``
+  (:mod:`repro.profiling.chrome_trace`)
+* ``python -m repro.profiling`` — CLI over all of the above
+  (:mod:`repro.profiling.cli`)
+"""
+
+from repro.profiling.chrome_trace import (
+    dumps_chrome_trace,
+    merge_chrome_traces,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.profiling.critical_path import (
+    CriticalPath,
+    Hop,
+    Straggler,
+    compute_critical_path,
+    critical_paths,
+    straggler_report,
+)
+from repro.profiling.spans import (
+    PHASES,
+    SPAN_KINDS,
+    HAUCheckpoint,
+    RecoveryTimeline,
+    RoundWave,
+    Span,
+    Timeline,
+    build_timeline,
+    normalize_events,
+)
+
+__all__ = [
+    "PHASES",
+    "SPAN_KINDS",
+    "CriticalPath",
+    "HAUCheckpoint",
+    "Hop",
+    "RecoveryTimeline",
+    "RoundWave",
+    "Span",
+    "Straggler",
+    "Timeline",
+    "build_timeline",
+    "compute_critical_path",
+    "critical_paths",
+    "dumps_chrome_trace",
+    "merge_chrome_traces",
+    "normalize_events",
+    "straggler_report",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

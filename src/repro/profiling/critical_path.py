@@ -1,0 +1,327 @@
+"""Token-propagation critical paths and straggler attribution.
+
+For each complete checkpoint round, the critical path is the longest
+causal chain that gated ``checkpoint.round.complete``: starting from the
+last HAU to commit, walk backwards through its disk write, its snapshot,
+the token that released it, the network hop that carried the token, and
+the sender's own chain — until the walk reaches the controller's
+``control.send`` and the ``checkpoint.round.start`` instant.
+
+The hops are contiguous by construction (each spans exactly the interval
+between two consecutive events on the chain), so the hop durations tile
+``[round.start, round.complete]`` and their sum equals the round's
+wall-clock duration — the invariant the acceptance test checks.
+
+Determinism: every choice point (which commit gated the round, which
+token arrived last, which send matched a receive) breaks ties by the
+smallest HAU id, so the same trace always yields the same path.
+
+Hop kinds
+---------
+``round-start``    controller issued the round (zero-width anchor)
+``control-hop``    control channel: ``control.send`` → command receipt
+``command-wait``   command receipt → token collection done (sources)
+``token-insert``   command receipt → 1-hop token enqueued (MS-src+ap)
+``token-forward``  own commit → cascade token sent (MS-src)
+``token-hop``      ``token.send`` → ``token.recv`` across one edge
+``token-wait``     last token arrival → token collection done
+``safepoint-wait`` tokens done → individual checkpoint start
+``snapshot``       checkpoint start → write start (fork + serialise)
+``disk-io``        write start → commit
+``round-complete`` gating commit → ``checkpoint.round.complete``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Any
+
+from repro.profiling.spans import Ev, Timeline, build_timeline, normalize_events
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One contiguous segment of a round's critical path."""
+
+    kind: str
+    subject: str  # HAU id, "src->dst" for token-hop, scheme for anchors
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "subject": self.subject,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+        }
+
+
+@dataclass
+class CriticalPath:
+    """The longest causal chain gating one round's completion."""
+
+    round_id: int
+    scheme: str
+    started_at: float
+    completed_at: float
+    gating_hau: str
+    hops: list[Hop] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        return self.completed_at - self.started_at
+
+    def hop_sum(self) -> float:
+        return sum(h.duration for h in self.hops)
+
+    def hop_names(self) -> list[str]:
+        return [f"{h.kind}:{h.subject}" for h in self.hops]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "round": self.round_id,
+            "scheme": self.scheme,
+            "started_at": self.started_at,
+            "completed_at": self.completed_at,
+            "seconds": self.seconds,
+            "gating_hau": self.gating_hau,
+            "hops": [h.as_dict() for h in self.hops],
+        }
+
+
+class _Index:
+    """Per-round lookup tables over the normalised event stream."""
+
+    def __init__(self, events: list[Ev]):
+        self.round_start: dict[int, Ev] = {}
+        self.round_complete: dict[int, Ev] = {}
+        self.commits: dict[tuple[str, int], Ev] = {}
+        self.write_starts: dict[tuple[str, int], Ev] = {}
+        self.ckpt_starts: dict[tuple[str, int], Ev] = {}
+        self.tokens_done: dict[tuple[str, int], Ev] = {}
+        self.commands: dict[tuple[str, int], Ev] = {}
+        self.recvs: dict[tuple[str, int], list[Ev]] = {}
+        self.sends: dict[tuple[str, int], list[Ev]] = {}
+        self.controls: dict[str, list[Ev]] = {}
+        for e in events:
+            r = e.get("round")
+            key = (e.subject, int(r)) if r is not None else None
+            if e.kind == "checkpoint.round.start":
+                self.round_start.setdefault(int(r), e)
+            elif e.kind == "checkpoint.round.complete":
+                self.round_complete.setdefault(int(r), e)
+            elif e.kind == "checkpoint.commit" and key:
+                self.commits.setdefault(key, e)
+            elif e.kind == "checkpoint.write.start" and key:
+                self.write_starts.setdefault(key, e)
+            elif e.kind == "checkpoint.start" and key:
+                self.ckpt_starts.setdefault(key, e)
+            elif e.kind == "checkpoint.tokens.done" and key:
+                self.tokens_done.setdefault(key, e)
+            elif e.kind == "checkpoint.command" and key:
+                self.commands.setdefault(key, e)
+            elif e.kind == "token.recv" and key:
+                self.recvs.setdefault(key, []).append(e)
+            elif e.kind == "token.send" and key:
+                self.sends.setdefault(key, []).append(e)
+            elif e.kind == "control.send":
+                self.controls.setdefault(e.subject, []).append(e)
+
+    def matching_send(self, recv: Ev, round_id: int) -> Ev | None:
+        """The ``token.send`` that produced ``recv``: same origin, same
+        round, an edge whose destination is the receiver, latest at or
+        before the arrival."""
+        origin = str(recv.get("origin", ""))
+        dst = recv.subject
+        best: Ev | None = None
+        for s in self.sends.get((origin, round_id), ()):
+            edge = str(s.get("edge", ""))
+            # edge ids look like "src[0]->dst[1]" (dsps.graph.EdgeSpec)
+            if f"->{dst}[" not in edge:
+                continue
+            if s.t <= recv.t and s.seq < recv.seq and (best is None or s.seq > best.seq):
+                best = s
+        return best
+
+    def last_control(self, hau_id: str, before: Ev) -> Ev | None:
+        best: Ev | None = None
+        for c in self.controls.get(hau_id, ()):
+            if c.seq <= before.seq and (best is None or c.seq > best.seq):
+                best = c
+        return best
+
+
+def compute_critical_path(source: Any, round_id: int) -> CriticalPath | None:
+    """Reconstruct round ``round_id``'s critical path from a trace.
+
+    Returns ``None`` for rounds that never completed (or are absent).
+    """
+    events = normalize_events(source)
+    idx = _Index(events)
+    start = idx.round_start.get(round_id)
+    complete = idx.round_complete.get(round_id)
+    if start is None or complete is None:
+        return None
+    scheme = start.subject
+
+    # The gating commit: the latest one; ties go to the smallest HAU id.
+    commits = [e for (h, r), e in idx.commits.items() if r == round_id]
+    if not commits:
+        return None
+    latest_t = max(e.t for e in commits)
+    gate = min(
+        (e for e in commits if e.t == latest_t), key=lambda e: e.subject
+    )
+
+    hops: list[Hop] = [Hop("round-complete", scheme, gate.t, complete.t)]
+    cur_hau = gate.subject
+    cur_commit = gate
+    visited: set[str] = set()
+
+    while True:
+        if cur_hau in visited:  # defensive: traces are acyclic by design
+            break
+        visited.add(cur_hau)
+        key = (cur_hau, round_id)
+        ws = idx.write_starts.get(key)
+        cs = idx.ckpt_starts.get(key)
+        if ws is None or cs is None:
+            break
+        hops.append(Hop("disk-io", cur_hau, ws.t, cur_commit.t))
+        hops.append(Hop("snapshot", cur_hau, cs.t, ws.t))
+        td = idx.tokens_done.get(key)
+        anchor = td if td is not None else cs
+        if td is not None:
+            hops.append(Hop("safepoint-wait", cur_hau, td.t, cs.t))
+        recvs = [
+            rv for rv in idx.recvs.get(key, ()) if rv.seq <= anchor.seq
+        ]
+        if recvs:
+            last = max(
+                recvs,
+                key=lambda e: (e.t, e.seq),
+            )
+            # Among arrivals at the same instant the chain is gated by
+            # all of them; pick the smallest origin id for determinism.
+            same_t = [rv for rv in recvs if rv.t == last.t]
+            last = min(same_t, key=lambda e: str(e.get("origin", "")))
+            hops.append(Hop("token-wait", cur_hau, last.t, anchor.t))
+            send = idx.matching_send(last, round_id)
+            origin = str(last.get("origin", ""))
+            if send is None:
+                break
+            hops.append(Hop("token-hop", f"{origin}->{cur_hau}", send.t, last.t))
+            if bool(send.get("front", False)):
+                # 1-hop token (MS-src+ap family): inserted at command
+                # receipt; the chain roots through the control plane.
+                cmd = idx.commands.get((origin, round_id))
+                if cmd is not None:
+                    hops.append(Hop("token-insert", origin, cmd.t, send.t))
+                    anchor_root = cmd
+                else:
+                    anchor_root = send
+                ctrl = idx.last_control(origin, anchor_root)
+                if ctrl is not None:
+                    hops.append(Hop("control-hop", origin, ctrl.t, anchor_root.t))
+                    hops.append(Hop("round-start", scheme, start.t, ctrl.t))
+                break
+            # Cascade token (MS-src): forwarded after the sender's own
+            # synchronous checkpoint — recurse through the sender.
+            sender_commit = idx.commits.get((origin, round_id))
+            if sender_commit is None:
+                break
+            hops.append(Hop("token-forward", origin, sender_commit.t, send.t))
+            cur_hau = origin
+            cur_commit = sender_commit
+            continue
+        # No token arrivals: a source; root through command + control.
+        cmd = idx.commands.get(key)
+        if cmd is not None:
+            hops.append(Hop("command-wait", cur_hau, cmd.t, anchor.t))
+            ctrl = idx.last_control(cur_hau, cmd)
+            if ctrl is not None:
+                hops.append(Hop("control-hop", cur_hau, ctrl.t, cmd.t))
+                hops.append(Hop("round-start", scheme, start.t, ctrl.t))
+        break
+
+    hops.reverse()
+    return CriticalPath(
+        round_id=round_id,
+        scheme=scheme,
+        started_at=start.t,
+        completed_at=complete.t,
+        gating_hau=gate.subject,
+        hops=hops,
+    )
+
+
+def critical_paths(source: Any) -> list[CriticalPath]:
+    """Critical paths for every *complete* round, in round order."""
+    events = normalize_events(source)
+    idx = _Index(events)
+    out = []
+    for r in sorted(idx.round_complete):
+        if r in idx.round_start:
+            path = compute_critical_path(events, r)
+            if path is not None:
+                out.append(path)
+    return out
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """An HAU whose checkpoint ran >= k x the round median."""
+
+    round_id: int
+    hau_id: str
+    seconds: float
+    median_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        if self.median_seconds <= 0.0:
+            return 0.0
+        return self.seconds / self.median_seconds
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "round": self.round_id,
+            "hau": self.hau_id,
+            "seconds": self.seconds,
+            "median_seconds": self.median_seconds,
+            "ratio": self.ratio,
+        }
+
+
+def straggler_report(timeline: Timeline | Any, k: float = 2.0) -> list[Straggler]:
+    """HAUs whose per-round checkpoint time exceeds ``k`` x the round's
+    median (command receipt to commit), sorted by round then HAU id."""
+    tl = timeline if isinstance(timeline, Timeline) else build_timeline(timeline)
+    out: list[Straggler] = []
+    for wave in tl.rounds:
+        totals = {
+            h: hc.total
+            for h, hc in wave.haus.items()
+            if hc.total is not None
+        }
+        if len(totals) < 2:
+            continue
+        med = median(sorted(totals.values()))
+        for h in sorted(totals):
+            if med > 0.0 and totals[h] > k * med:
+                out.append(
+                    Straggler(
+                        round_id=wave.round_id,
+                        hau_id=h,
+                        seconds=totals[h],
+                        median_seconds=med,
+                    )
+                )
+    return out

@@ -667,6 +667,73 @@ def test_trc001_flags_dynamic_kind_without_constant_prefix(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# TRC002 — profiling SPAN_KINDS vs tracer KINDS
+# ---------------------------------------------------------------------------
+
+
+def test_trc002_clean_when_span_kinds_subset_of_kinds(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/tracer.py": 'KINDS = ("ckpt.round_started", "ckpt.round_done")\n',
+            "src/spans.py": 'SPAN_KINDS = ("ckpt.round_started",)\n',
+        },
+        rule_ids=["TRC002"],
+    )
+    assert project.findings == []
+
+
+def test_trc002_flags_span_kind_missing_from_kinds(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/tracer.py": 'KINDS = ("ckpt.round_started",)\n',
+            "src/spans.py": 'SPAN_KINDS = ("ckpt.round_started", "ckpt.ghost")\n',
+        },
+        rule_ids=["TRC002"],
+    )
+    assert rules_of(project) == ["TRC002"]
+    f = project.findings[0]
+    assert "ckpt.ghost" in f.message and "tracer.KINDS" in f.message
+    assert f.path == "src/spans.py"
+
+
+def test_trc002_quiet_without_a_kinds_inventory(tmp_path):
+    # A fixture tree with SPAN_KINDS but no KINDS tuple anywhere must not
+    # fire: there is no vocabulary to validate against.
+    project = run_fixture(
+        tmp_path,
+        {"src/spans.py": 'SPAN_KINDS = ("ckpt.round_started",)\n'},
+        rule_ids=["TRC002"],
+    )
+    assert project.findings == []
+
+
+def test_trc002_ignores_computed_and_non_name_assignments(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/tracer.py": 'KINDS = ("a.b",)\n',
+            "src/other.py": """\
+            obj = object()
+            SPAN_KINDS = tuple(sorted(["a.b"]))
+            x, SPAN_KINDS2 = 1, ("a.b",)
+            """,
+        },
+        rule_ids=["TRC002"],
+    )
+    assert project.findings == []
+
+
+def test_repo_span_kinds_match_tracer_kinds():
+    # The real repo invariant TRC002 guards, asserted directly.
+    from repro.observability.tracer import KINDS
+    from repro.profiling import SPAN_KINDS
+
+    assert set(SPAN_KINDS) <= set(KINDS)
+
+
+# ---------------------------------------------------------------------------
 # schema parsers
 # ---------------------------------------------------------------------------
 

@@ -203,3 +203,72 @@ def test_checked_in_baseline_has_kernel_fields():
     assert kernel, "BENCH_baseline.json should carry the kernel microbench fields"
     for key in ("wall_seconds", "events_per_sec", "events_popped"):
         assert key in kernel
+
+
+def test_critical_path_growth_is_warn_only(tmp_path, capsys):
+    base = _write(
+        tmp_path, "base.json", _report([_cell(critical_path_seconds=1.0)])
+    )
+    cur = _write(
+        tmp_path, "cur.json", _report([_cell(critical_path_seconds=2.0)])
+    )
+    assert check_regression.main([cur, "--baseline", base]) == check_regression.EXIT_OK
+    out = capsys.readouterr().out
+    assert "critical path" in out and "warn-only" in out
+
+
+def test_critical_path_within_tolerance_is_silent(tmp_path, capsys):
+    base = _write(
+        tmp_path, "base.json", _report([_cell(critical_path_seconds=1.0)])
+    )
+    cur = _write(
+        tmp_path, "cur.json", _report([_cell(critical_path_seconds=1.1)])
+    )
+    assert check_regression.main([cur, "--baseline", base]) == check_regression.EXIT_OK
+    assert "critical path" not in capsys.readouterr().out
+
+
+def test_critical_path_gate_skips_missing_and_zero_cells(tmp_path, capsys):
+    # baseline without the field, a zero baseline (no round completed),
+    # and a current report missing the field: all silently skipped
+    base = _write(
+        tmp_path,
+        "base.json",
+        _report([
+            _cell(scheme="ms-src"),
+            _cell(scheme="ms-src+ap", critical_path_seconds=0.0),
+            _cell(scheme="ms-src+ap+aa", critical_path_seconds=1.0),
+        ]),
+    )
+    cur = _write(
+        tmp_path,
+        "cur.json",
+        _report([
+            _cell(scheme="ms-src", critical_path_seconds=9.0),
+            _cell(scheme="ms-src+ap", critical_path_seconds=9.0),
+            _cell(scheme="ms-src+ap+aa"),
+        ]),
+    )
+    assert check_regression.main([cur, "--baseline", base]) == check_regression.EXIT_OK
+    assert "critical path" not in capsys.readouterr().out
+
+
+def test_critical_path_tolerance_flag(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _report([_cell(critical_path_seconds=1.0)]))
+    cur = _write(tmp_path, "cur.json", _report([_cell(critical_path_seconds=1.4)]))
+    args = [cur, "--baseline", base, "--critical-path-tolerance", "0.1"]
+    assert check_regression.main(args) == check_regression.EXIT_OK
+    assert "critical path" in capsys.readouterr().out
+
+
+def test_checked_in_baseline_has_critical_path_cells():
+    report = check_regression.load_report(str(check_regression.DEFAULT_BASELINE))
+    with_cp = [
+        c
+        for c in report["cells"]
+        if c.get("critical_path_seconds", 0.0) > 0.0
+    ]
+    assert with_cp, (
+        "BENCH_baseline.json should record critical_path_seconds for "
+        "cells whose rounds completed"
+    )
