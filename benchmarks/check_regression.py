@@ -43,7 +43,9 @@ Usage::
 Exit status: 0 = no regression, 1 = throughput regression / mode
 mismatch / events_popped drift, 2 = bad invocation / unreadable input,
 3 = latency-only regression (throughput held; CI can choose to warn
-instead of fail).
+instead of fail), 4 = a report parses but one of its cells is missing a
+gate field (``app`` / ``scheme`` / ``n_checkpoints`` / ``throughput``)
+— the baseline or report needs regenerating, nothing was compared.
 """
 
 from __future__ import annotations
@@ -61,6 +63,38 @@ EXIT_OK = 0
 EXIT_THROUGHPUT = 1
 EXIT_BAD_INVOCATION = 2
 EXIT_LATENCY = 3
+EXIT_BAD_BASELINE = 4
+
+# Every cell must carry these for the gates to have anything to compare.
+REQUIRED_CELL_FIELDS = ("app", "scheme", "n_checkpoints", "throughput")
+
+
+class MalformedReportError(ValueError):
+    """A report parsed, but a cell is missing/mistyping a gate field."""
+
+
+def validate_cells(report: dict, path: str) -> None:
+    """Fail loudly (not with a KeyError traceback) on malformed cells."""
+    for i, c in enumerate(report["cells"]):
+        if not isinstance(c, dict):
+            raise MalformedReportError(
+                f"{path}: cells[{i}] is not an object — regenerate the report"
+            )
+        missing = [f for f in REQUIRED_CELL_FIELDS if f not in c]
+        if missing:
+            raise MalformedReportError(
+                f"{path}: cells[{i}] is missing gate field(s) {', '.join(missing)} "
+                f"(has: {', '.join(sorted(c)) or 'nothing'}) — regenerate the "
+                "report with bench_headline.py, or restore the committed baseline"
+            )
+        try:
+            int(c["n_checkpoints"])
+            float(c["throughput"])
+        except (TypeError, ValueError) as exc:
+            raise MalformedReportError(
+                f"{path}: cells[{i}] ({c.get('app')}/{c.get('scheme')}) has a "
+                f"non-numeric gate field: {exc}"
+            ) from exc
 
 
 def load_report(path: str) -> dict:
@@ -247,6 +281,12 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_BAD_INVOCATION
+    try:
+        validate_cells(current, args.current)
+        validate_cells(baseline, args.baseline)
+    except MalformedReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BAD_BASELINE
 
     regressions, lat_regressions, notes = compare(
         current, baseline, args.tolerance, args.latency_tolerance

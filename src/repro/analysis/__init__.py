@@ -22,7 +22,12 @@ from repro.analysis.findings import Finding, Severity
 from repro.analysis.registry import Rule, all_rules, get_rule, register
 
 # Importing the rule modules registers their rules.
-from repro.analysis import determinism, protocol, schema  # noqa: F401  (registration side effect)
+from repro.analysis import (  # noqa: F401  (registration side effect)
+    determinism,
+    protocol,
+    schema,
+    scenarios,
+)
 
 __all__ = [
     "AnalysisConfig",

@@ -1,0 +1,230 @@
+"""SCN001 — the scenario DSL's vocabularies stay in sync everywhere.
+
+Four components each enumerate part of the scenario schema: the
+validator's literal field tuples (``repro.scenarios.schema``), the
+failure injector's ``FAILURE_KINDS`` and its ``_inject_<kind>``
+dispatch handlers (``repro.failures.injector``), and the DESIGN.md
+"Scenario schema" table.  Any one of them drifting means documents
+validate against one schema and execute against another — the
+schema-rot failure TEL001/TRC001 guard against for observability,
+applied to the experiment-description surface.
+
+All checks are AST/text-only (nothing is imported), so the rule works
+on broken trees too.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import ModuleContext, const_str
+from repro.analysis.findings import Severity
+from repro.analysis.registry import Rule, register
+
+_BACKTICK_RE = re.compile(r"`([^`]+)`")
+_SIMPLE_WORD_RE = re.compile(r"^[a-z_]+$")
+
+# Literal tuple assignments the rule harvests, by variable name.
+_TRACKED_TUPLES = ("FAILURE_KINDS", "TOP_LEVEL_FIELDS", "DEGRADATION_KINDS")
+
+_INJECT_PREFIX = "_inject_"
+
+
+def parse_scenario_schema(text: str) -> tuple[dict[str, int], dict[str, int]]:
+    """``({field: lineno}, {kind: lineno})`` from the "Scenario schema"
+    table.
+
+    A field is the backticked token in each row's first cell.  Failure
+    kinds are the backticked simple-word tokens in the *later* cells of
+    the ``failures`` row — the row enumerates the kind vocabulary, and
+    only kind names are backticked there by convention.
+    """
+    fields: dict[str, int] = {}
+    kinds: dict[str, int] = {}
+    in_section = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.startswith("## "):
+            in_section = "scenario schema" in line.lower()
+            continue
+        if not in_section or not line.lstrip().startswith("|"):
+            continue
+        cells = line.split("|")
+        first = cells[1] if len(cells) > 1 else ""
+        m = _BACKTICK_RE.search(first)
+        if m is None or not _SIMPLE_WORD_RE.match(m.group(1)):
+            continue
+        name = m.group(1)
+        fields.setdefault(name, lineno)
+        if name == "failures":
+            for cell in cells[2:]:
+                for tok in _BACKTICK_RE.findall(cell):
+                    if _SIMPLE_WORD_RE.match(tok):
+                        kinds.setdefault(tok, lineno)
+    return fields, kinds
+
+
+@dataclass
+class _TupleDecl:
+    relpath: str
+    lineno: int
+    items: dict[str, int] = field(default_factory=dict)  # value -> lineno
+
+
+@register
+class ScenarioSchemaRule(Rule):
+    """SCN001 — scenario vocabulary sync across validator/injector/docs."""
+
+    id = "SCN001"
+    title = "scenario schema stays in sync with the injector and DESIGN.md"
+    rationale = (
+        "the validator's field tuples, the injector's FAILURE_KINDS and "
+        "_inject_<kind> handlers, and the DESIGN.md scenario table each "
+        "enumerate the same vocabulary; drift in any corner means "
+        "documents validate against one schema and execute against "
+        "another (or fail at injection time, mid-campaign)"
+    )
+    severity = Severity.ERROR
+    node_types = (ast.Assign, ast.FunctionDef)
+
+    def __init__(self) -> None:
+        self._tuples: dict[str, _TupleDecl] = {}
+        self._handlers: dict[str, tuple[str, int]] = {}  # kind -> (relpath, lineno)
+
+    def visit(self, ctx: ModuleContext, node: ast.AST) -> None:
+        if isinstance(node, ast.FunctionDef):
+            if node.name.startswith(_INJECT_PREFIX) and node.name != _INJECT_PREFIX.rstrip("_"):
+                kind = node.name[len(_INJECT_PREFIX):]
+                self._handlers.setdefault(kind, (ctx.relpath, node.lineno))
+            return
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            return
+        name = node.targets[0].id
+        if name not in _TRACKED_TUPLES or not isinstance(node.value, (ast.Tuple, ast.List)):
+            return
+        decl = _TupleDecl(relpath=ctx.relpath, lineno=node.lineno)
+        for elt in node.value.elts:
+            value = const_str(elt)
+            if value is not None:
+                decl.items[value] = elt.lineno
+        self._tuples.setdefault(name, decl)
+
+    def finalize(self, project) -> None:
+        failure_kinds = self._tuples.get("FAILURE_KINDS")
+        top_fields = self._tuples.get("TOP_LEVEL_FIELDS")
+        degradation = self._tuples.get("DEGRADATION_KINDS")
+        if failure_kinds is None and top_fields is None:
+            return  # no scenario DSL in this tree
+
+        # 1. FAILURE_KINDS <-> _inject_<kind> handlers, both directions.
+        if failure_kinds is not None and self._handlers:
+            for kind in sorted(set(failure_kinds.items) - set(self._handlers)):
+                project.report(
+                    self,
+                    path=failure_kinds.relpath,
+                    line=failure_kinds.items[kind],
+                    col=1,
+                    message=(
+                        f"failure kind `{kind}` is declared in FAILURE_KINDS but the "
+                        f"injector has no `{_INJECT_PREFIX}{kind}` handler — injection "
+                        "would fall through at runtime"
+                    ),
+                )
+            for kind in sorted(set(self._handlers) - set(failure_kinds.items)):
+                relpath, lineno = self._handlers[kind]
+                project.report(
+                    self,
+                    path=relpath,
+                    line=lineno,
+                    col=1,
+                    message=(
+                        f"injector handler `{_INJECT_PREFIX}{kind}` exists but `{kind}` "
+                        "is not declared in FAILURE_KINDS — the schema rejects a kind "
+                        "the injector supports"
+                    ),
+                )
+
+        # 2. Degradation kinds (duration/factor carriers) stay a subset.
+        if degradation is not None and failure_kinds is not None:
+            for kind in sorted(set(degradation.items) - set(failure_kinds.items)):
+                project.report(
+                    self,
+                    path=degradation.relpath,
+                    line=degradation.items[kind],
+                    col=1,
+                    message=(
+                        f"DEGRADATION_KINDS entry `{kind}` is not a FAILURE_KINDS "
+                        "member — duration/factor validation references a kind that "
+                        "cannot occur"
+                    ),
+                )
+
+        # 3. DESIGN.md scenario table <-> the literal tuples, both ways.
+        text = project.design_text()
+        if text is None:
+            return
+        documented_fields, documented_kinds = parse_scenario_schema(text)
+        design = project.design_relpath()
+        if top_fields is not None and not documented_fields:
+            project.report(
+                self,
+                path=top_fields.relpath,
+                line=top_fields.lineno,
+                col=1,
+                message=(
+                    "the scenario DSL exists but DESIGN.md has no scenario-schema "
+                    "table to lint against"
+                ),
+                severity=Severity.WARNING,
+            )
+            return
+        if top_fields is not None:
+            for name in sorted(set(top_fields.items) - set(documented_fields)):
+                project.report(
+                    self,
+                    path=top_fields.relpath,
+                    line=top_fields.items[name],
+                    col=1,
+                    message=(
+                        f"scenario field `{name}` is accepted by the validator but "
+                        "undocumented in the DESIGN.md scenario-schema table"
+                    ),
+                )
+            for name in sorted(set(documented_fields) - set(top_fields.items)):
+                project.report(
+                    self,
+                    path=design,
+                    line=documented_fields[name],
+                    col=1,
+                    message=(
+                        f"scenario field `{name}` is documented in DESIGN.md but not "
+                        "in schema.TOP_LEVEL_FIELDS — the validator rejects it"
+                    ),
+                )
+        if failure_kinds is not None and documented_kinds:
+            for kind in sorted(set(failure_kinds.items) - set(documented_kinds)):
+                project.report(
+                    self,
+                    path=failure_kinds.relpath,
+                    line=failure_kinds.items[kind],
+                    col=1,
+                    message=(
+                        f"failure kind `{kind}` is not listed in the DESIGN.md "
+                        "scenario-schema `failures` row"
+                    ),
+                )
+            for kind in sorted(set(documented_kinds) - set(failure_kinds.items)):
+                project.report(
+                    self,
+                    path=design,
+                    line=documented_kinds[kind],
+                    col=1,
+                    message=(
+                        f"failure kind `{kind}` is documented in DESIGN.md but not "
+                        "declared in FAILURE_KINDS"
+                    ),
+                )
+
+
+__all__ = ["ScenarioSchemaRule", "parse_scenario_schema"]

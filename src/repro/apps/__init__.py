@@ -17,12 +17,13 @@ nominal bytes calibrated to Fig. 5 (see DESIGN.md substitutions).
 """
 
 from repro.apps.base import AppProfile, SizedPayload
-from repro.apps import tmi, bcp, signalguru
+from repro.apps import tmi, bcp, signalguru, synth
 
 APPS = {
     "tmi": tmi,
     "bcp": bcp,
     "signalguru": signalguru,
+    "synth": synth,
 }
 
-__all__ = ["AppProfile", "SizedPayload", "APPS", "tmi", "bcp", "signalguru"]
+__all__ = ["AppProfile", "SizedPayload", "APPS", "tmi", "bcp", "signalguru", "synth"]

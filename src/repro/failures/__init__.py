@@ -13,7 +13,15 @@ from repro.failures.model import (
     ABE_CLUSTER,
     AFN100Row,
 )
-from repro.failures.injector import FailureInjector, FailurePlan, PlannedFailure
+from repro.failures.injector import (
+    DEFAULT_PARTITION_FACTOR,
+    DEFAULT_STRAGGLER_FACTOR,
+    FAILURE_KINDS,
+    FailureInjector,
+    FailurePlan,
+    PlannedFailure,
+    sample_plan,
+)
 
 __all__ = [
     "FailureSource",
@@ -21,7 +29,11 @@ __all__ = [
     "GOOGLE_DC",
     "ABE_CLUSTER",
     "AFN100Row",
+    "FAILURE_KINDS",
+    "DEFAULT_PARTITION_FACTOR",
+    "DEFAULT_STRAGGLER_FACTOR",
     "FailureInjector",
     "FailurePlan",
     "PlannedFailure",
+    "sample_plan",
 ]

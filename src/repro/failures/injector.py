@@ -1,10 +1,25 @@
 """Failure injection into the simulated cluster.
 
-Turns the statistical failure model into concrete fail-stop events on a
-:class:`~repro.cluster.topology.DataCenter`: single-node failures
-(ooops/disk/memory) and rack-correlated bursts (the large-scale failures
-Meteor Shower is built for).  Plans are sampled up front (deterministic
-given the RNG stream) so experiments can be replayed and compared.
+Turns the statistical failure model into concrete events on a
+:class:`~repro.cluster.topology.DataCenter`.  Four event kinds (the
+authoritative list is :data:`FAILURE_KINDS`; the scenario schema and the
+SCN001 lint rule pin themselves to it):
+
+* ``node`` — fail-stop of one node (ooops/disk/memory causes);
+* ``rack`` — rack-correlated burst: every node in the rack fail-stops
+  (the large-scale failures Meteor Shower is built for);
+* ``partition`` — network partition around one rack: every channel
+  crossing the rack boundary has its latency multiplied by ``factor``
+  for ``duration`` seconds (nodes stay alive; tokens and data stall);
+* ``straggler`` — gray failure of one node: its NIC and disk bandwidth
+  are divided by ``factor`` for ``duration`` seconds, so transfers
+  through it take ``factor``× longer.
+
+Degradations (``partition``/``straggler``) compose multiplicatively, so
+overlapping events restore cleanly in any order; ``duration <= 0`` means
+the degradation lasts for the rest of the run.  Plans are sampled (or
+declared — see :mod:`repro.scenarios`) up front and are deterministic
+given the RNG stream, so experiments can be replayed and compared.
 """
 
 from __future__ import annotations
@@ -16,15 +31,31 @@ import numpy as np
 from repro.cluster.topology import DataCenter
 from repro.simulation.core import Environment, Interrupt
 
+#: Event kinds the injector can execute.  The scenario schema
+#: (``repro.scenarios.schema``) and DESIGN.md document exactly this
+#: vocabulary; SCN001 checks all three stay in sync.
+FAILURE_KINDS = ("node", "rack", "partition", "straggler")
+
+#: Default degradation magnitudes (used by the scenario compiler when a
+#: document omits ``factor``).
+DEFAULT_PARTITION_FACTOR = 200.0
+DEFAULT_STRAGGLER_FACTOR = 10.0
+
 
 @dataclass(frozen=True)
 class PlannedFailure:
-    """One failure event scheduled for injection."""
+    """One failure event scheduled for injection.
+
+    ``duration``/``factor`` only apply to the degradation kinds
+    (``partition``/``straggler``); fail-stop kinds ignore them.
+    """
 
     at: float  # seconds of simulated time
-    kind: str  # "node" | "rack"
+    kind: str  # one of FAILURE_KINDS
     target: str  # node id or rack id
     cause: str = "injected"
+    duration: float = 0.0  # 0 = permanent (degradation kinds only)
+    factor: float = 1.0  # slowdown multiplier >= 1 (degradation kinds only)
 
 
 @dataclass
@@ -32,7 +63,7 @@ class FailurePlan:
     events: list[PlannedFailure] = field(default_factory=list)
 
     def sorted_events(self) -> list[PlannedFailure]:
-        return sorted(self.events, key=lambda e: (e.at, e.target))
+        return sorted(self.events, key=lambda e: (e.at, e.target, e.kind))
 
     @property
     def burst_count(self) -> int:
@@ -41,6 +72,10 @@ class FailurePlan:
     @property
     def single_count(self) -> int:
         return sum(1 for e in self.events if e.kind == "node")
+
+    @property
+    def degradation_count(self) -> int:
+        return sum(1 for e in self.events if e.kind in ("partition", "straggler"))
 
 
 def sample_plan(
@@ -88,6 +123,7 @@ class FailureInjector:
         self.dc = dc
         self.plan = plan
         self.injected: list[PlannedFailure] = []
+        self.restored: list[PlannedFailure] = []
 
     def start(self) -> None:
         self.env.process(self._run(), label="failure-injector")
@@ -102,47 +138,118 @@ class FailureInjector:
         except Interrupt:
             return
 
-    def _inject(self, event: PlannedFailure) -> None:
-        trace = self.env.trace
-        if event.kind == "node":
+    # -- bookkeeping -------------------------------------------------------
+    def _record(self, event: PlannedFailure, **data) -> None:
+        self.injected.append(event)
+        if self.env.telemetry.enabled:
+            self.env.telemetry.counter(
+                "ms_failures_injected_total", kind=event.kind
+            ).inc()
+        if self.env.trace.enabled:
+            self.env.trace.emit(
+                "failure.inject",
+                t=self.env.now,
+                subject=event.target,
+                kind=event.kind,
+                cause=event.cause,
+                **data,
+            )
+
+    def _schedule_restore(self, event: PlannedFailure, undo) -> None:
+        """Run ``undo`` after ``event.duration`` (never, if <= 0)."""
+        if event.duration <= 0:
+            return
+
+        def restorer():
             try:
-                node = self.dc.node(event.target)
-            except KeyError:
+                yield self.env.timeout(event.duration)
+            except Interrupt:
                 return
-            if node.alive:
-                node.fail(event.cause)
-                self.injected.append(event)
-                if self.env.telemetry.enabled:
-                    self.env.telemetry.counter(
-                        "ms_failures_injected_total", kind="node"
-                    ).inc()
-                if trace.enabled:
-                    trace.emit(
-                        "failure.inject",
-                        t=self.env.now,
-                        subject=event.target,
-                        kind="node",
-                        cause=event.cause,
-                    )
+            undo()
+            self.restored.append(event)
+            if self.env.trace.enabled:
+                self.env.trace.emit(
+                    "failure.restore",
+                    t=self.env.now,
+                    subject=event.target,
+                    kind=event.kind,
+                    cause=event.cause,
+                )
+
+        self.env.process(restorer(), label=f"failure-restore:{event.target}")
+
+    # -- per-kind mechanics --------------------------------------------------
+    def _inject(self, event: PlannedFailure) -> None:
+        if event.kind == "node":
+            self._inject_node(event)
         elif event.kind == "rack":
-            for rack in self.dc.racks:
-                if rack.rack_id == event.target:
-                    victims = rack.fail_all(event.cause)
-                    if victims:
-                        self.injected.append(event)
-                        if self.env.telemetry.enabled:
-                            self.env.telemetry.counter(
-                                "ms_failures_injected_total", kind="rack"
-                            ).inc()
-                        if trace.enabled:
-                            trace.emit(
-                                "failure.inject",
-                                t=self.env.now,
-                                subject=event.target,
-                                kind="rack",
-                                cause=event.cause,
-                                victims=len(victims),
-                            )
-                    break
+            self._inject_rack(event)
+        elif event.kind == "partition":
+            self._inject_partition(event)
+        elif event.kind == "straggler":
+            self._inject_straggler(event)
         else:  # pragma: no cover - plan validation
             raise ValueError(f"unknown failure kind {event.kind!r}")
+
+    def _inject_node(self, event: PlannedFailure) -> None:
+        try:
+            node = self.dc.node(event.target)
+        except KeyError:
+            return
+        if node.alive:
+            node.fail(event.cause)
+            self._record(event)
+
+    def _inject_rack(self, event: PlannedFailure) -> None:
+        for rack in self.dc.racks:
+            if rack.rack_id == event.target:
+                victims = rack.fail_all(event.cause)
+                if victims:
+                    self._record(event, victims=len(victims))
+                break
+
+    def _inject_partition(self, event: PlannedFailure) -> None:
+        """Slow every channel crossing the target rack's boundary.
+
+        Only channels that exist at the injection instant participate;
+        channels re-wired later (e.g. by recovery onto spares) see the
+        healed network — the partition is a property of the links, not
+        of the nodes.
+        """
+        factor = max(1.0, event.factor)
+        affected = [
+            chan
+            for chan in self.dc.channels()
+            if not chan.closed
+            and (chan.src.rack == event.target) != (chan.dst.rack == event.target)
+        ]
+        if not affected:
+            return
+        for chan in affected:
+            chan.latency *= factor
+        self._record(event, channels=len(affected), factor=factor)
+
+        def undo():
+            for chan in affected:
+                chan.latency /= factor
+
+        self._schedule_restore(event, undo)
+
+    def _inject_straggler(self, event: PlannedFailure) -> None:
+        """Gray failure: the node's NIC and disk run ``factor``× slower."""
+        try:
+            node = self.dc.node(event.target)
+        except KeyError:
+            return
+        if not node.alive:
+            return
+        factor = max(1.0, event.factor)
+        node.nic_out.bandwidth /= factor
+        node.disk.bandwidth /= factor
+        self._record(event, factor=factor)
+
+        def undo():
+            node.nic_out.bandwidth *= factor
+            node.disk.bandwidth *= factor
+
+        self._schedule_restore(event, undo)

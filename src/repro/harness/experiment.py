@@ -25,6 +25,7 @@ from repro.core import (
 )
 from repro.core.costs import CostModel
 from repro.dsps.runtime import CheckpointScheme, DSPSRuntime, RuntimeConfig
+from repro.failures.injector import FailureInjector, FailurePlan
 from repro.observability import Tracer, dumps_jsonl, render_summary, summarize, write_jsonl
 from repro.simulation.core import Environment, Interrupt
 from repro.telemetry import (
@@ -273,11 +274,19 @@ def run_experiment(
     trace_state: bool = False,
     failure_at: float | None = None,
     failure_targets: list[str] | None = None,
+    failure_plan: "FailurePlan | None" = None,
     trace: bool = False,
     telemetry: bool = False,
     telemetry_interval: float = 1.0,
 ) -> ExperimentResult:
     """Build, run and measure one experiment.
+
+    ``failure_plan`` drives a whole trace of scheduled failures
+    (single-node, rack bursts, partitions, stragglers — see
+    :class:`~repro.failures.injector.FailurePlan`) through a
+    :class:`~repro.failures.injector.FailureInjector`; ``failure_at`` /
+    ``failure_targets`` remain the simple one-shot kill used by the
+    paper's worst-case experiments.
 
     ``trace=True`` attaches a structured :class:`Tracer` to the
     environment before the runtime is built (so every layer emits through
@@ -310,6 +319,8 @@ def run_experiment(
         ),
     )
     runtime.start()
+    if failure_plan is not None and failure_plan.events:
+        FailureInjector(env, runtime.dc, failure_plan).start()
     state_trace = StateTraceRecorder(runtime) if trace_state else None
     sampler = (
         Sampler(runtime, registry=registry, interval=telemetry_interval)

@@ -32,6 +32,7 @@ directory) empties it.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -40,6 +41,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.failures.injector import FailurePlan, PlannedFailure
 from repro.harness.digest import canonical_json, config_fingerprint, result_digest
 from repro.harness.experiment import (
     ExperimentConfig,
@@ -52,7 +54,8 @@ from repro.telemetry.registry import MetricRegistry
 # Bump to invalidate every cached payload when the payload *shape*
 # changes (the code fingerprint already covers behaviour changes).
 # v2: cells run traced and carry per-round critical-path seconds.
-PAYLOAD_VERSION = 2
+# v3: cells carry declarative failure traces (scenario DSL) in their key.
+PAYLOAD_VERSION = 3
 
 
 def default_jobs() -> int:
@@ -113,11 +116,18 @@ class CellSpec:
     the binned instantaneous-latency series (Fig. 15), which must be
     computed in-process because raw per-tuple latencies never leave the
     worker.
+
+    ``failure_trace`` is a declarative failure schedule (the scenario
+    DSL's lowering target): a tuple of
+    :class:`~repro.failures.injector.PlannedFailure` events executed by
+    a :class:`~repro.failures.injector.FailureInjector`, covering
+    single-node kills, rack bursts, partitions and stragglers.
     """
 
     config: ExperimentConfig
     failure_at: float | None = None
     failure_targets: tuple[str, ...] | None = None
+    failure_trace: tuple[PlannedFailure, ...] | None = None
     bins: tuple[float, float, float] | None = None
 
     def key_material(self) -> dict[str, Any]:
@@ -127,6 +137,11 @@ class CellSpec:
             "failure_at": self.failure_at,
             "failure_targets": (
                 list(self.failure_targets) if self.failure_targets is not None else None
+            ),
+            "failure_trace": (
+                [dataclasses.asdict(e) for e in self.failure_trace]
+                if self.failure_trace is not None
+                else None
             ),
             "bins": list(self.bins) if self.bins is not None else None,
         }
@@ -206,6 +221,11 @@ def run_cell(spec: CellSpec) -> dict[str, Any]:
         failure_at=spec.failure_at,
         failure_targets=(
             list(spec.failure_targets) if spec.failure_targets is not None else None
+        ),
+        failure_plan=(
+            FailurePlan(events=list(spec.failure_trace))
+            if spec.failure_trace is not None
+            else None
         ),
         # Tracing only appends to an event list — it never schedules
         # simulation events — so digests and physics are unchanged while

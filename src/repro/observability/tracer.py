@@ -40,7 +40,8 @@ KINDS = (
     "replay.out",  # post-recovery re-send of saved in-flight outputs
     "replay.backlog",  # post-recovery re-processing of pre-token backlog
     "replay.source",  # post-recovery full-speed source replay
-    "failure.inject",  # the injector (or harness) killed a node/rack
+    "failure.inject",  # the injector (or harness) hit a node/rack/link
+    "failure.restore",  # a timed degradation (partition/straggler) healed
     "failure.detected",  # the controller's watcher observed dead HAUs
     "recovery.start",  # global rollback began
     "recovery.hau.start",  # one HAU began its reload/read/deserialise phases

@@ -1,0 +1,50 @@
+"""Declarative scenario DSL + seeded chaos campaigns.
+
+One scenario document (YAML/JSON) describes a complete reliability
+experiment — app + topology, cluster, schedule, checkpoint scheme and a
+failure trace — and compiles onto the existing sweep harness, so every
+scenario inherits caching, parallelism, tracing and digest determinism.
+
+Layers (each its own module):
+
+* :mod:`~repro.scenarios.schema` — document shape + actionable validation
+* :mod:`~repro.scenarios.loader` — YAML/JSON parsing
+* :mod:`~repro.scenarios.compiler` — document → :class:`CellSpec` lowering
+* :mod:`~repro.scenarios.fuzz` — seeded valid-by-construction fuzzer
+* :mod:`~repro.scenarios.goldens` — per-scenario digest goldens
+* :mod:`~repro.scenarios.campaign` — the CI campaign runner
+* :mod:`~repro.scenarios.cli` — ``validate`` / ``run`` / ``goldens``
+"""
+
+from repro.scenarios.compiler import CompiledScenario, check_expectations, compile_scenario
+from repro.scenarios.fuzz import fuzz_documents
+from repro.scenarios.loader import ScenarioParseError, load_path, load_text, scenario_paths
+from repro.scenarios.schema import (
+    FAILURE_FIELDS,
+    SCENARIO_SCHEMES,
+    TOP_LEVEL_FIELDS,
+    VERSION,
+    ScenarioValidationError,
+    SchemaError,
+    check,
+    validate,
+)
+
+__all__ = [
+    "CompiledScenario",
+    "FAILURE_FIELDS",
+    "SCENARIO_SCHEMES",
+    "ScenarioParseError",
+    "ScenarioValidationError",
+    "SchemaError",
+    "TOP_LEVEL_FIELDS",
+    "VERSION",
+    "check",
+    "check_expectations",
+    "compile_scenario",
+    "fuzz_documents",
+    "load_path",
+    "load_text",
+    "scenario_paths",
+    "validate",
+]

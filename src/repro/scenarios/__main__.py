@@ -1,0 +1,7 @@
+"""``python -m repro.scenarios`` entry point."""
+
+import sys
+
+from repro.scenarios.cli import main
+
+sys.exit(main())

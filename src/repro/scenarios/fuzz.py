@@ -1,0 +1,159 @@
+"""Seeded scenario fuzzer: valid-by-construction chaos campaigns.
+
+``fuzz_documents(seed, count)`` draws ``count`` scenario documents from
+seeded distributions over the schema's whole surface — app family
+(including generated ``synth`` topologies), scheme, cluster shape and a
+failure-trace family (none / single kill / rack burst / partition /
+straggler / mixed) — using one ``np.random.default_rng(seed)`` stream,
+so the same seed always yields byte-identical documents.
+
+Every generated document is passed through the validator before it is
+returned: the fuzzer explores the space of *valid* scenarios (the
+campaign's job is to shake the simulator, not the schema — invalid-doc
+handling is covered by unit tests instead).  Floats are rounded to
+short decimals so documents serialise identically everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.scenarios.schema import SCENARIO_SCHEMES, VERSION, check
+
+# Keep fuzzed runs small: a short window with 8 workers finishes in a
+# few seconds, and the sweep cache amortises repeats across campaigns.
+_WINDOWS = (30.0, 40.0)
+_SCHEMES = tuple(s for s in SCENARIO_SCHEMES if s != "none")
+_FAILURE_FAMILIES = ("none", "single", "burst", "partition", "straggler", "mixed")
+
+# App families: the paper apps at digest-baseline scale, plus synth
+# topology shapes exercising the graph-construction surface.
+_PAPER_APPS = (
+    ("tmi", {"n_minutes": 0.25}),
+    ("bcp", {"state_scale": 0.1}),
+    ("signalguru", {"state_scale": 0.1}),
+)
+_SYNTH_SHAPES = ("chain", "fanout", "diamond")
+
+
+def _synth_topology(rng: np.random.Generator, shape: str) -> dict[str, Any]:
+    """A small synthetic topology of the requested shape."""
+    sources = int(rng.integers(2, 5))
+    width = int(rng.integers(3, 7))
+    src_shape = ("constant", "poisson", "burst")[int(rng.integers(3))]
+    source = {"name": "s", "kind": "source", "replicas": sources,
+              "interval": round(float(rng.uniform(0.4, 0.8)), 2), "shape": src_shape}
+    if shape == "chain":
+        stages = [source,
+                  {"name": "m", "kind": "map", "replicas": width, "state_window": 32},
+                  {"name": "r", "kind": "map", "replicas": width, "state_window": 64},
+                  {"name": "k", "kind": "sink", "replicas": 1}]
+        edges = [{"src": "s", "dst": "m", "routing": "hash", "pairing": "all"},
+                 {"src": "m", "dst": "r", "pairing": "aligned"},
+                 {"src": "r", "dst": "k"}]
+    elif shape == "fanout":
+        stages = [source,
+                  {"name": "m", "kind": "map", "replicas": width, "state_window": 32},
+                  {"name": "ka", "kind": "sink", "replicas": 1},
+                  {"name": "kb", "kind": "sink", "replicas": 1}]
+        edges = [{"src": "s", "dst": "m", "routing": "hash", "pairing": "all"},
+                 {"src": "m", "dst": "ka"},
+                 {"src": "m", "dst": "kb"}]
+    else:  # diamond: branch at a map stage (sources emit on port 0 only)
+        stages = [source,
+                  {"name": "m", "kind": "map", "replicas": width, "state_window": 32},
+                  {"name": "la", "kind": "map", "replicas": 2, "state_window": 48},
+                  {"name": "lb", "kind": "map", "replicas": 2, "state_window": 48},
+                  {"name": "k", "kind": "sink", "replicas": 1}]
+        edges = [{"src": "s", "dst": "m", "routing": "hash", "pairing": "all"},
+                 {"src": "m", "dst": "la", "routing": "hash", "pairing": "all"},
+                 {"src": "m", "dst": "lb", "routing": "hash", "pairing": "all"},
+                 {"src": "la", "dst": "k"},
+                 {"src": "lb", "dst": "k"}]
+    return {"stages": stages, "edges": edges}
+
+
+def _fuzz_app(rng: np.random.Generator) -> dict[str, Any]:
+    pick = int(rng.integers(len(_PAPER_APPS) + len(_SYNTH_SHAPES)))
+    if pick < len(_PAPER_APPS):
+        name, params = _PAPER_APPS[pick]
+        return {"name": name, "params": dict(params)}
+    shape = _SYNTH_SHAPES[pick - len(_PAPER_APPS)]
+    return {"name": "synth", "params": {"topology": _synth_topology(rng, shape)}}
+
+
+def _node_target(rng: np.random.Generator, workers: int) -> str:
+    return f"w{int(rng.integers(workers))}"
+
+
+def _degradation(rng: np.random.Generator, kind: str, target: str,
+                 at: float) -> dict[str, Any]:
+    return {
+        "at": at, "kind": kind, "target": target,
+        "duration": round(float(rng.uniform(4.0, 10.0)), 1),
+        "factor": round(float(rng.uniform(5.0, 50.0)), 1),
+    }
+
+
+def _fuzz_failures(rng: np.random.Generator, family: str, warmup: float,
+                   window: float, workers: int, racks: int) -> list[dict[str, Any]]:
+    def at(lo: float = 0.2, hi: float = 0.7) -> float:
+        return round(float(warmup + rng.uniform(lo, hi) * window), 1)
+
+    rack = f"rack{int(rng.integers(racks))}"
+    if family == "none":
+        return []
+    if family == "single":
+        return [{"at": at(), "kind": "node", "target": _node_target(rng, workers),
+                 "cause": "fuzz"}]
+    if family == "burst":
+        return [{"at": at(), "kind": "rack", "target": rack, "cause": "fuzz"}]
+    if family == "partition":
+        return [_degradation(rng, "partition", rack, at())]
+    if family == "straggler":
+        return [_degradation(rng, "straggler", _node_target(rng, workers), at())]
+    # mixed: a degradation leading into a kill, like a failing switch
+    first, second = sorted([at(0.1, 0.5), at(0.5, 0.8)])
+    kind = ("partition", "straggler")[int(rng.integers(2))]
+    degraded = rack if kind == "partition" else _node_target(rng, workers)
+    return [
+        _degradation(rng, kind, degraded, first),
+        {"at": second, "kind": "node", "target": _node_target(rng, workers),
+         "cause": "fuzz"},
+    ]
+
+
+def fuzz_documents(seed: int, count: int) -> list[dict[str, Any]]:
+    """``count`` valid scenario documents, deterministic in ``seed``."""
+    rng = np.random.default_rng(seed)
+    docs = []
+    for i in range(count):
+        workers, spares, racks = 8, 12, 2
+        window = _WINDOWS[int(rng.integers(len(_WINDOWS)))]
+        warmup = 10.0
+        family = _FAILURE_FAMILIES[int(rng.integers(len(_FAILURE_FAMILIES)))]
+        failures = _fuzz_failures(rng, family, warmup, window, workers, racks)
+        kills = any(f["kind"] in ("node", "rack") for f in failures)
+        doc = {
+            "id": f"fuzz-{seed}-{i:03d}",
+            "version": VERSION,
+            "description": f"fuzzed campaign scenario (seed={seed}, family={family})",
+            "app": _fuzz_app(rng),
+            "seed": int(rng.integers(1, 1000)),
+            "cluster": {"workers": workers, "spares": spares, "racks": racks},
+            "run": {
+                "window": window,
+                "warmup": warmup,
+                "n_checkpoints": int(rng.integers(1, 4)),
+                # Kills without recovery stall the probe stage forever;
+                # fuzzed kills always exercise the recovery path.
+                "recovery": kills,
+            },
+            "scheme": _SCHEMES[int(rng.integers(len(_SCHEMES)))],
+        }
+        if failures:
+            doc["failures"] = failures
+        docs.append(check(doc, source=doc["id"]))
+    return docs

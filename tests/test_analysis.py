@@ -29,6 +29,7 @@ from repro.analysis.engine import (
 )
 from repro.analysis.findings import Finding, Severity, sort_findings
 from repro.analysis.registry import Rule, all_rules, get_rule, register
+from repro.analysis.scenarios import parse_scenario_schema
 from repro.analysis.schema import parse_metric_schema, parse_trace_schema
 
 import ast
@@ -1038,3 +1039,159 @@ def test_repo_is_clean_under_strict(capsys):
 
     root = pathlib.Path(__file__).resolve().parents[1]
     assert main(["--root", str(root), "--strict"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# SCN001 — scenario schema sync (validator / injector / DESIGN.md)
+# ---------------------------------------------------------------------------
+
+_SCN_INJECTOR = """
+    FAILURE_KINDS = ("node", "rack")
+
+    class FailureInjector:
+        def _inject(self, event):
+            pass
+
+        def _inject_node(self, event):
+            pass
+
+        def _inject_rack(self, event):
+            pass
+"""
+
+_SCN_SCHEMA = """
+    TOP_LEVEL_FIELDS = ("id", "app", "failures")
+    DEGRADATION_KINDS = ()
+"""
+
+_SCN_DESIGN = """
+    ## Scenario schema (repro.scenarios)
+
+    | field | shape | notes |
+    |---|---|---|
+    | `id` | slug | required |
+    | `app` | mapping | required |
+    | `failures` | list | kinds `node`, `rack` |
+"""
+
+
+def test_scn001_quiet_when_everything_in_sync(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {"src/injector.py": _SCN_INJECTOR, "src/schema.py": _SCN_SCHEMA},
+        design=_SCN_DESIGN,
+        rule_ids=["SCN001"],
+    )
+    assert rules_of(project) == []
+
+
+def test_scn001_kind_without_inject_handler(tmp_path):
+    injector = _SCN_INJECTOR.replace(
+        'FAILURE_KINDS = ("node", "rack")',
+        'FAILURE_KINDS = ("node", "rack", "gamma-ray")',
+    )
+    project = run_fixture(
+        tmp_path,
+        {"src/injector.py": injector, "src/schema.py": _SCN_SCHEMA},
+        design=_SCN_DESIGN.replace("`node`, `rack`", "`node`, `rack`, `gamma-ray`"),
+        rule_ids=["SCN001"],
+    )
+    messages = [f.message for f in project.findings]
+    assert any("no `_inject_gamma-ray` handler" in m for m in messages)
+
+
+def test_scn001_handler_without_declared_kind(tmp_path):
+    injector = _SCN_INJECTOR + "\n    def _inject_flood(self, event):\n        pass\n"
+    project = run_fixture(
+        tmp_path,
+        {"src/injector.py": injector, "src/schema.py": _SCN_SCHEMA},
+        design=_SCN_DESIGN,
+        rule_ids=["SCN001"],
+    )
+    messages = [f.message for f in project.findings]
+    assert any("`_inject_flood` exists" in m and "not declared" in m for m in messages)
+
+
+def test_scn001_field_drift_both_directions(tmp_path):
+    schema = _SCN_SCHEMA.replace(
+        '("id", "app", "failures")', '("id", "app", "failures", "retries")'
+    )
+    design = _SCN_DESIGN + "    | `budget` | int | undeclared |\n"
+    project = run_fixture(
+        tmp_path,
+        {"src/injector.py": _SCN_INJECTOR, "src/schema.py": schema},
+        design=design,
+        rule_ids=["SCN001"],
+    )
+    messages = [f.message for f in project.findings]
+    assert any("`retries`" in m and "undocumented" in m for m in messages)
+    assert any("`budget`" in m and "validator rejects it" in m for m in messages)
+
+
+def test_scn001_degradation_kind_must_be_failure_kind(tmp_path):
+    schema = _SCN_SCHEMA.replace(
+        "DEGRADATION_KINDS = ()", 'DEGRADATION_KINDS = ("brownout",)'
+    )
+    project = run_fixture(
+        tmp_path,
+        {"src/injector.py": _SCN_INJECTOR, "src/schema.py": schema},
+        design=_SCN_DESIGN,
+        rule_ids=["SCN001"],
+    )
+    messages = [f.message for f in project.findings]
+    assert any("`brownout`" in m and "not a FAILURE_KINDS member" in m for m in messages)
+
+
+def test_scn001_documented_kind_not_declared(tmp_path):
+    design = _SCN_DESIGN.replace("`node`, `rack`", "`node`, `rack`, `quake`")
+    project = run_fixture(
+        tmp_path,
+        {"src/injector.py": _SCN_INJECTOR, "src/schema.py": _SCN_SCHEMA},
+        design=design,
+        rule_ids=["SCN001"],
+    )
+    messages = [f.message for f in project.findings]
+    assert any("`quake`" in m and "FAILURE_KINDS" in m for m in messages)
+
+
+def test_scn001_warns_without_design_section(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {"src/injector.py": _SCN_INJECTOR, "src/schema.py": _SCN_SCHEMA},
+        design="# nothing relevant\n",
+        rule_ids=["SCN001"],
+    )
+    findings = [f for f in project.findings if f.rule == "SCN001"]
+    assert len(findings) == 1
+    assert findings[0].severity is Severity.WARNING
+    assert "no scenario-schema" in findings[0].message
+
+
+def test_scn001_silent_without_scenario_dsl(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {"src/other.py": "X = 1\n"},
+        design=_SCN_DESIGN,
+        rule_ids=["SCN001"],
+    )
+    assert rules_of(project) == []
+
+
+def test_parse_scenario_schema_fields_and_kinds():
+    import textwrap as _tw
+
+    fields, kinds = parse_scenario_schema(_tw.dedent(_SCN_DESIGN))
+    assert set(fields) == {"id", "app", "failures"}
+    assert set(kinds) == {"node", "rack"}
+    # tokens outside the failures row never count as kinds
+    assert "slug" not in kinds and "mapping" not in kinds
+
+
+def test_live_tree_scn001_clean():
+    """The real src/ + DESIGN.md must satisfy SCN001 (the CI gate)."""
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parent.parent
+    config = AnalysisConfig(root=root, dirs=("src",), rule_ids=("SCN001",))
+    project = run_analysis(config)
+    assert [f.message for f in project.findings] == []

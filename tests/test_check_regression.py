@@ -272,3 +272,57 @@ def test_checked_in_baseline_has_critical_path_cells():
         "BENCH_baseline.json should record critical_path_seconds for "
         "cells whose rounds completed"
     )
+
+
+# ---------------------------------------------------------------------------
+# malformed reports (exit 4): missing/mistyped gate fields fail loudly
+# ---------------------------------------------------------------------------
+
+
+def test_baseline_cell_missing_gate_field_exits_4(tmp_path, capsys):
+    cur = _write(tmp_path, "cur.json", _report([_cell()]))
+    bad_cell = {"app": "tmi", "scheme": "ms-src", "n_checkpoints": 0}  # no throughput
+    base = _write(tmp_path, "base.json", _report([bad_cell]))
+    assert (
+        check_regression.main([cur, "--baseline", base])
+        == check_regression.EXIT_BAD_BASELINE
+    )
+    err = capsys.readouterr().err
+    assert "missing gate field(s) throughput" in err
+    assert "base.json" in err
+    assert "cells[0]" in err
+
+
+def test_current_cell_missing_gate_field_exits_4(tmp_path, capsys):
+    bad_cell = {"scheme": "ms-src", "n_checkpoints": 0, "throughput": 1.0}  # no app
+    cur = _write(tmp_path, "cur.json", _report([bad_cell]))
+    base = _write(tmp_path, "base.json", _report([_cell()]))
+    assert (
+        check_regression.main([cur, "--baseline", base])
+        == check_regression.EXIT_BAD_BASELINE
+    )
+    err = capsys.readouterr().err
+    assert "missing gate field(s) app" in err
+    assert "cur.json" in err
+
+
+def test_non_numeric_gate_field_exits_4(tmp_path, capsys):
+    cur = _write(tmp_path, "cur.json", _report([_cell()]))
+    base = _write(
+        tmp_path, "base.json", _report([_cell(throughput="not-a-number")])
+    )
+    assert (
+        check_regression.main([cur, "--baseline", base])
+        == check_regression.EXIT_BAD_BASELINE
+    )
+    assert "non-numeric gate field" in capsys.readouterr().err
+
+
+def test_non_dict_cell_exits_4(tmp_path, capsys):
+    cur = _write(tmp_path, "cur.json", _report([_cell()]))
+    base = _write(tmp_path, "base.json", _report(["oops"]))
+    assert (
+        check_regression.main([cur, "--baseline", base])
+        == check_regression.EXIT_BAD_BASELINE
+    )
+    assert "cells[0] is not an object" in capsys.readouterr().err
