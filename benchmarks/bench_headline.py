@@ -65,6 +65,7 @@ def test_headline_numbers(benchmark, get_sweep, sweep_stats, write_artifact):
                 "latency_p99": c.latency_p99,
                 "rounds_completed": c.rounds_completed,
                 "critical_path_seconds": c.critical_path_seconds,
+                "phase_totals": c.phase_totals,
             }
             for c in sweep.cells
         ],
@@ -154,6 +155,9 @@ def test_trace_artifact(write_artifact):
         res.write_trace(os.path.join(art_dir, "TRACE_events.jsonl"))
         # Perfetto-loadable timeline (ui.perfetto.dev -> Open trace file)
         res.write_chrome_trace(os.path.join(art_dir, "TRACE_headline.perfetto.json"))
+        # the comparable RunBundle: CI diffs it against the committed
+        # benchmarks/BUNDLE_baseline via `python -m repro.inspect diff`
+        res.write_run_bundle(art_dir, name="BUNDLE_headline")
 
 
 def test_telemetry_artifact(write_artifact):

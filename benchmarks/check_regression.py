@@ -40,6 +40,16 @@ Usage::
         [--latency-tolerance 0.15] [--kernel artifacts/BENCH_kernel.json] \
         [--wall-tolerance 0.5]
 
+Every gate runs every time: a tripped throughput gate never hides the
+latency, kernel or critical-path verdicts — the FAIL summary lists all
+failing gates in one run.  On any trip, an **attributed explanation**
+follows (via ``repro.inspect``): the per-cell top movers from the
+report diff, plus — when both the candidate bundle (``--bundle``,
+default ``BUNDLE_headline`` next to the current report) and the
+baseline bundle (``--baseline-bundle``, default
+``benchmarks/BUNDLE_baseline``) exist — the phase-span / HAU
+attribution from the bundle diff.  ``--no-explain`` suppresses both.
+
 Exit status: 0 = no regression, 1 = throughput regression / mode
 mismatch / events_popped drift, 2 = bad invocation / unreadable input,
 3 = latency-only regression (throughput held; CI can choose to warn
@@ -151,15 +161,17 @@ def compare(
             continue
         c = cur[key]
         if b <= 0:
+            # note-and-carry-on: a zero-throughput baseline cell must not
+            # swallow the cell's latency gate (all gates report, always)
             notes.append(f"{app}/{scheme}@{n}: baseline throughput {b:g}, skipped")
-            continue
-        delta = c / b - 1.0
-        if delta < -tolerance:
-            regressions.append(
-                f"{app}/{scheme}@{n}: throughput {c:g} vs baseline {b:g} ({delta:+.1%})"
-            )
-        elif abs(delta) > 1e-9:
-            notes.append(f"{app}/{scheme}@{n}: {delta:+.1%}")
+        else:
+            delta = c / b - 1.0
+            if delta < -tolerance:
+                regressions.append(
+                    f"{app}/{scheme}@{n}: throughput {c:g} vs baseline {b:g} ({delta:+.1%})"
+                )
+            elif abs(delta) > 1e-9:
+                notes.append(f"{app}/{scheme}@{n}: {delta:+.1%}")
         # latency gate (higher is worse)
         bl = base_lat.get(key)
         if bl is None:
@@ -257,6 +269,60 @@ def compare_kernel(
     return failures, warnings
 
 
+def _inspect_modules():
+    """Lazily import repro.inspect (with a src/ fallback for bare checkouts).
+
+    Returns ``None`` when the package cannot be imported — the gate then
+    degrades to unattributed numbers instead of crashing.
+    """
+    try:
+        import repro.inspect  # noqa: F401
+    except ImportError:
+        src = Path(__file__).resolve().parent.parent / "src"
+        if src.is_dir():
+            sys.path.insert(0, str(src))
+    try:
+        from repro.inspect import diff_bundles, diff_reports, read_bundle
+        from repro.inspect.explain import explain_diff
+    except ImportError:
+        return None
+    return diff_reports, diff_bundles, read_bundle, explain_diff
+
+
+def explain_trip(
+    current: dict,
+    baseline: dict,
+    bundle: str | None,
+    baseline_bundle: str | None,
+    limit: int = 5,
+) -> list[str]:
+    """Attributed explanation lines for a tripped gate (best effort).
+
+    Always tries the report-level diff (cell x metric top movers); when
+    both bundle directories exist, adds the bundle-level attribution
+    (phase spans, HAUs, critical-path hops).  Any failure inside the
+    explainer becomes a parenthetical line, never a crash — explanations
+    decorate the gate, they must not be able to flip it.
+    """
+    mods = _inspect_modules()
+    if mods is None:
+        return ["(repro.inspect unavailable; no attribution)"]
+    diff_reports, diff_bundles, read_bundle, explain_diff = mods
+    lines: list[str] = []
+    try:
+        lines.extend(explain_diff(diff_reports(baseline, current), limit=limit))
+    except Exception as exc:  # noqa: BLE001 — explainer must never flip the gate
+        lines.append(f"(report attribution failed: {exc})")
+    if bundle and baseline_bundle and Path(bundle).is_dir() and Path(baseline_bundle).is_dir():
+        try:
+            diff = diff_bundles(read_bundle(baseline_bundle), read_bundle(bundle))
+            lines.append(f"bundle attribution ({baseline_bundle} -> {bundle}):")
+            lines.extend("  " + line for line in explain_diff(diff, limit=limit))
+        except Exception as exc:  # noqa: BLE001
+            lines.append(f"(bundle attribution failed: {exc})")
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="fresh BENCH_headline.json to check")
@@ -273,6 +339,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--critical-path-tolerance", type=float, default=0.25,
                         help="warn-only threshold for per-cell checkpoint "
                              "critical-path growth (default 0.25)")
+    parser.add_argument("--bundle", default=None,
+                        help="candidate RunBundle directory for attributed "
+                             "explanations (default: BUNDLE_headline next to current)")
+    parser.add_argument("--baseline-bundle", default=None,
+                        help="baseline RunBundle directory "
+                             "(default: benchmarks/BUNDLE_baseline)")
+    parser.add_argument("--no-explain", action="store_true",
+                        help="suppress attributed explanations on gate trips")
     args = parser.parse_args(argv)
 
     try:
@@ -317,20 +391,28 @@ def main(argv: list[str] | None = None) -> int:
           f"latency tolerance {args.latency_tolerance:.0%}")
     for line in notes:
         print(f"  note: {line}")
-    if regressions:
-        print(f"FAIL: {len(regressions)} throughput regression(s)")
-        for line in regressions:
-            print(f"  regression: {line}")
-        for line in lat_regressions:
-            print(f"  latency regression: {line}")
-        return EXIT_THROUGHPUT
-    if lat_regressions:
-        print(f"FAIL (latency): {len(lat_regressions)} latency regression(s)")
-        for line in lat_regressions:
-            print(f"  latency regression: {line}")
-        return EXIT_LATENCY
-    print("OK: no throughput or latency regression")
-    return EXIT_OK
+    if not regressions and not lat_regressions:
+        print("OK: no throughput or latency regression")
+        return EXIT_OK
+
+    # every failing gate in one report (never just the first tripped one),
+    # then the attributed explanation of *why* the numbers moved
+    print(
+        f"FAIL: {len(regressions)} hard regression(s), "
+        f"{len(lat_regressions)} latency regression(s)"
+    )
+    for line in regressions:
+        print(f"  regression: {line}")
+    for line in lat_regressions:
+        print(f"  latency regression: {line}")
+    if not args.no_explain:
+        bundle = args.bundle or str(Path(args.current).parent / "BUNDLE_headline")
+        baseline_bundle = args.baseline_bundle or str(
+            Path(args.baseline).resolve().parent / "BUNDLE_baseline"
+        )
+        for line in explain_trip(current, baseline, bundle, baseline_bundle):
+            print(f"  explain: {line}")
+    return EXIT_THROUGHPUT if regressions else EXIT_LATENCY
 
 
 if __name__ == "__main__":

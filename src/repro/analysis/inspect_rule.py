@@ -1,0 +1,196 @@
+"""INS001 — the phase-span vocabulary stays in sync everywhere.
+
+Three components enumerate the checkpoint phase spans that run-bundle
+diffs attribute time to: the profiler's ``PHASES``
+(``repro.profiling.spans``, the producer), the bundle format's
+``PHASE_SPANS`` (``repro.inspect.bundle``, the consumer), and the
+DESIGN.md "Run bundles & diffing" schema table (the contract).  A phase
+added to the profiler but not the bundle silently vanishes from every
+diff; a phase only the bundle knows about renders as an eternal zero —
+both are attribution rot, the inspect-layer twin of the schema rot
+TEL001/TRC001/SCN001 guard against.
+
+All checks are AST/text-only (nothing is imported), so the rule works
+on broken trees too.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import ModuleContext, const_str
+from repro.analysis.findings import Severity
+from repro.analysis.registry import Rule, register
+
+_BACKTICK_RE = re.compile(r"`([^`]+)`")
+_PHASE_WORD_RE = re.compile(r"^[a-z][a-z-]*$")
+
+# (variable name, path suffix the declaration must live under)
+_TRACKED = {
+    "PHASES": "profiling/spans.py",
+    "PHASE_SPANS": "inspect/bundle.py",
+}
+
+
+def parse_bundle_phases(text: str) -> dict[str, int]:
+    """``{phase: lineno}`` from the DESIGN.md "Run bundles & diffing"
+    table's ``phases.json`` row — the backticked dash-word tokens in the
+    row's later cells enumerate the phase vocabulary, mirroring how the
+    scenario table's ``failures`` row enumerates failure kinds."""
+    phases: dict[str, int] = {}
+    in_section = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.startswith("## "):
+            in_section = "run bundles" in line.lower()
+            continue
+        if not in_section or not line.lstrip().startswith("|"):
+            continue
+        cells = line.split("|")
+        first = cells[1] if len(cells) > 1 else ""
+        m = _BACKTICK_RE.search(first)
+        if m is None or m.group(1) != "phases.json":
+            continue
+        for cell in cells[2:]:
+            for tok in _BACKTICK_RE.findall(cell):
+                if _PHASE_WORD_RE.match(tok):
+                    phases.setdefault(tok, lineno)
+    return phases
+
+
+@dataclass
+class _TupleDecl:
+    relpath: str
+    lineno: int
+    order: list[str] = field(default_factory=list)
+    items: dict[str, int] = field(default_factory=dict)  # value -> lineno
+
+
+@register
+class InspectPhaseRule(Rule):
+    """INS001 — phase-span vocabulary sync across profiler/bundle/docs."""
+
+    id = "INS001"
+    title = "inspect phase spans stay in sync with profiling and DESIGN.md"
+    rationale = (
+        "profiling.spans.PHASES (the producer), inspect.bundle.PHASE_SPANS "
+        "(the consumer) and the DESIGN.md run-bundle table each enumerate "
+        "the checkpoint phase vocabulary; drift means diffs silently drop "
+        "a phase's seconds or attribute to a phase that never occurs"
+    )
+    severity = Severity.ERROR
+    node_types = (ast.Assign,)
+
+    def __init__(self) -> None:
+        self._tuples: dict[str, _TupleDecl] = {}
+
+    def visit(self, ctx: ModuleContext, node: ast.AST) -> None:
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            return
+        name = node.targets[0].id
+        suffix = _TRACKED.get(name)
+        if suffix is None or not ctx.relpath.replace("\\", "/").endswith(suffix):
+            return
+        if not isinstance(node.value, (ast.Tuple, ast.List)):
+            return
+        decl = _TupleDecl(relpath=ctx.relpath, lineno=node.lineno)
+        for elt in node.value.elts:
+            value = const_str(elt)
+            if value is not None:
+                decl.order.append(value)
+                decl.items[value] = elt.lineno
+        self._tuples.setdefault(name, decl)
+
+    def finalize(self, project) -> None:
+        producer = self._tuples.get("PHASES")
+        consumer = self._tuples.get("PHASE_SPANS")
+        if consumer is None:
+            return  # no inspect layer in this tree
+
+        # 1. profiler PHASES <-> bundle PHASE_SPANS, both directions.
+        if producer is not None:
+            for phase in sorted(set(producer.items) - set(consumer.items)):
+                project.report(
+                    self,
+                    path=consumer.relpath,
+                    line=consumer.lineno,
+                    col=1,
+                    message=(
+                        f"phase `{phase}` exists in profiling.spans.PHASES but not "
+                        "in PHASE_SPANS — its seconds silently vanish from every "
+                        "bundle diff"
+                    ),
+                )
+            for phase in sorted(set(consumer.items) - set(producer.items)):
+                project.report(
+                    self,
+                    path=consumer.relpath,
+                    line=consumer.items[phase],
+                    col=1,
+                    message=(
+                        f"phase `{phase}` is declared in PHASE_SPANS but the profiler "
+                        "never emits it — diffs would attribute to a phase that "
+                        "cannot occur"
+                    ),
+                )
+            if (
+                set(producer.items) == set(consumer.items)
+                and producer.order != consumer.order
+            ):
+                project.report(
+                    self,
+                    path=consumer.relpath,
+                    line=consumer.lineno,
+                    col=1,
+                    message=(
+                        "PHASE_SPANS lists the same phases as profiling.spans.PHASES "
+                        "but in a different order — attribution tables would not "
+                        "line up across the two layers"
+                    ),
+                )
+
+        # 2. DESIGN.md run-bundle table <-> PHASE_SPANS, both directions.
+        text = project.design_text()
+        if text is None:
+            return
+        documented = parse_bundle_phases(text)
+        design = project.design_relpath()
+        if not documented:
+            project.report(
+                self,
+                path=consumer.relpath,
+                line=consumer.lineno,
+                col=1,
+                message=(
+                    "the inspect layer exists but the DESIGN.md run-bundle table "
+                    "has no `phases.json` row enumerating the phase vocabulary"
+                ),
+                severity=Severity.WARNING,
+            )
+            return
+        for phase in sorted(set(consumer.items) - set(documented)):
+            project.report(
+                self,
+                path=consumer.relpath,
+                line=consumer.items[phase],
+                col=1,
+                message=(
+                    f"phase `{phase}` is in PHASE_SPANS but undocumented in the "
+                    "DESIGN.md run-bundle schema table"
+                ),
+            )
+        for phase in sorted(set(documented) - set(consumer.items)):
+            project.report(
+                self,
+                path=design,
+                line=documented[phase],
+                col=1,
+                message=(
+                    f"phase `{phase}` is documented in the DESIGN.md run-bundle "
+                    "table but not declared in PHASE_SPANS"
+                ),
+            )
+
+
+__all__ = ["InspectPhaseRule", "parse_bundle_phases"]

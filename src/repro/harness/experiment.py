@@ -179,6 +179,28 @@ class ExperimentResult:
     def write_telemetry(self, path: str) -> None:
         write_snapshot(self.telemetry_snapshot(), path)
 
+    # -- run bundles (repro.inspect) ---------------------------------------
+    def run_bundle(self) -> dict:
+        """The run distilled into an in-memory RunBundle — the comparable,
+        content-addressed artifact ``python -m repro.inspect diff``
+        consumes.  Richer with ``trace=True`` (phase spans, critical
+        paths) and ``telemetry=True`` (metric snapshot), but works with
+        neither (metrics + config only)."""
+        from repro.harness.sweep import reduce_result
+        from repro.inspect.bundle import build_bundle
+
+        telemetry = self.telemetry_snapshot() if self.telemetry is not None else None
+        return build_bundle(reduce_result(self), telemetry=telemetry)
+
+    def write_run_bundle(self, root: str, name: str | None = None):
+        """Write the RunBundle directory under ``root``; returns its path.
+
+        Content-addressed by default; pass ``name`` to pin a stable
+        directory (committed baselines, CI artifacts)."""
+        from repro.inspect.bundle import write_bundle
+
+        return write_bundle(self.run_bundle(), root, name=name)
+
 
 def make_scheme(cfg: ExperimentConfig) -> CheckpointScheme:
     """Instantiate the configured fault-tolerance scheme for one run."""

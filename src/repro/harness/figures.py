@@ -111,6 +111,10 @@ class SweepCell:
     # Slowest per-round token-propagation critical path (seconds); 0.0
     # when no round completed (n=0 sweeps, scheme "none").
     critical_path_seconds: float = 0.0
+    # Checkpoint phase-span totals (token-wait/safepoint-wait/snapshot/
+    # disk-io seconds) — the diff engine's attribution input; empty when
+    # no round completed.
+    phase_totals: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -208,12 +212,14 @@ def fig12_fig13_sweep(
                         latency_p95=ref.latency_p95,
                         latency_p99=ref.latency_p99,
                         critical_path_seconds=ref.critical_path_seconds,
+                        phase_totals=dict(ref.phase_totals),
                     )
                 )
             continue
         p = payloads[idx]
         pct = p["latency_percentiles"]
         cp = p.get("critical_path") or {}
+        phases = p.get("phase_spans") or {}
         result.cells.append(
             SweepCell(
                 app, scheme, n, p["throughput"], p["latency"], p["rounds_completed"],
@@ -221,6 +227,7 @@ def fig12_fig13_sweep(
                 latency_p95=pct.get("p95", 0.0),
                 latency_p99=pct.get("p99", 0.0),
                 critical_path_seconds=cp.get("max_seconds", 0.0),
+                phase_totals=dict(phases.get("totals") or {}),
             )
         )
     return result

@@ -55,7 +55,9 @@ from repro.telemetry.registry import MetricRegistry
 # changes (the code fingerprint already covers behaviour changes).
 # v2: cells run traced and carry per-round critical-path seconds.
 # v3: cells carry declarative failure traces (scenario DSL) in their key.
-PAYLOAD_VERSION = 3
+# v4: cells carry phase-span totals, per-round critical-path hops and
+#     stragglers (the RunBundle content — see repro.inspect.bundle).
+PAYLOAD_VERSION = 4
 
 
 def default_jobs() -> int:
@@ -154,7 +156,7 @@ def cell_key(spec: CellSpec) -> str:
     return hashlib.sha256(canonical_json(material).encode("utf-8")).hexdigest()
 
 
-def reduce_result(result: ExperimentResult, spec: CellSpec) -> dict[str, Any]:
+def reduce_result(result: ExperimentResult, spec: CellSpec | None = None) -> dict[str, Any]:
     """Everything the figure drivers consume, as a JSON-ready dict."""
     logs = result.checkpoint_logs
     complete = [log for log in logs if getattr(log, "complete", False)]
@@ -181,10 +183,12 @@ def reduce_result(result: ExperimentResult, spec: CellSpec) -> dict[str, Any]:
             "bytes_read": rec.bytes_read,
         }
     binned = None
-    if spec.bins is not None:
+    if spec is not None and spec.bins is not None:
         start, end, width = spec.bins
         binned = [[t, v] for (t, v) in result.binned_latency(start, end, width)]
     critical_path = None
+    phase_spans = None
+    stragglers = None
     if result.tracer is not None:
         paths = result.critical_paths()
         if paths:
@@ -193,7 +197,44 @@ def reduce_result(result: ExperimentResult, spec: CellSpec) -> dict[str, Any]:
                 "rounds": {str(p.round_id): p.seconds for p in paths},
                 "max_seconds": max(seconds),
                 "mean_seconds": sum(seconds) / len(seconds),
+                "gating": {str(p.round_id): p.gating_hau for p in paths},
+                "hops": {
+                    str(p.round_id): [
+                        {
+                            "kind": h.kind,
+                            "subject": h.subject,
+                            "seconds": h.duration,
+                        }
+                        for h in p.hops
+                    ]
+                    for p in paths
+                },
             }
+        # Per-phase span totals (token-wait/safepoint-wait/snapshot/
+        # disk-io) summed over every HAU checkpoint of every round, plus
+        # the per-HAU breakdown — the diff engine's attribution input.
+        from repro.profiling import build_timeline, straggler_report
+
+        timeline = build_timeline(result.tracer)
+        totals: dict[str, float] = {}
+        per_hau: dict[str, dict[str, float]] = {}
+        for wave in timeline.rounds:
+            for hau_id in sorted(wave.haus):
+                for span in wave.haus[hau_id].phase_spans():
+                    totals[span.name] = totals.get(span.name, 0.0) + span.duration
+                    bucket = per_hau.setdefault(hau_id, {})
+                    bucket[span.name] = bucket.get(span.name, 0.0) + span.duration
+        if totals:
+            phase_spans = {
+                "totals": dict(sorted(totals.items())),
+                "per_hau": {
+                    h: dict(sorted(phases.items()))
+                    for h, phases in sorted(per_hau.items())
+                },
+            }
+        flagged = straggler_report(timeline)
+        if flagged:
+            stragglers = [s.as_dict() for s in flagged]
     return {
         "config": config_fingerprint(result.config),
         "throughput": result.throughput,
@@ -203,6 +244,8 @@ def reduce_result(result: ExperimentResult, spec: CellSpec) -> dict[str, Any]:
         "checkpoint": checkpoint,
         "recovery": recovery,
         "critical_path": critical_path,
+        "phase_spans": phase_spans,
+        "stragglers": stragglers,
         "binned_latency": binned,
         "digest": result_digest(result),
         "kernel": result.runtime.env.kernel_stats(),
@@ -252,18 +295,30 @@ class SweepStats:
         registry.counter("ms_sweep_cache_misses_total").inc(self.cache_misses)
 
 
+def default_bundle_dir() -> Path | None:
+    """``$REPRO_BUNDLE_DIR`` if set, else no bundles are written."""
+    configured = os.environ.get("REPRO_BUNDLE_DIR", "")
+    return Path(configured) if configured else None
+
+
 def run_cells(
     specs: list[CellSpec],
     jobs: int | None = None,
     cache_dir: Path | None = None,
     use_cache: bool = True,
     stats: SweepStats | None = None,
+    bundle_dir: Path | None = None,
 ) -> list[dict[str, Any]]:
     """Run every cell — cached, then parallel — and merge in input order.
 
     The returned list lines up index-for-index with ``specs`` regardless
     of which cells were cache hits and in which order workers finished,
     so callers observe a deterministic, serial-equivalent sweep.
+
+    ``bundle_dir`` (or ``$REPRO_BUNDLE_DIR``) additionally writes one
+    :mod:`repro.inspect.bundle` RunBundle per cell — the comparable,
+    content-addressed artifact ``python -m repro.inspect diff`` consumes
+    — next to (but independent of) the payload cache.
     """
     jobs = jobs if jobs is not None else default_jobs()
     if stats is None:
@@ -304,6 +359,14 @@ def run_cells(
                 with open(tmp, "w", encoding="utf-8") as fh:
                     fh.write(canonical_json(payload))
                 os.replace(tmp, path)  # atomic: concurrent sweeps never see partial writes
+
+    bdir = bundle_dir if bundle_dir is not None else default_bundle_dir()
+    if bdir is not None:
+        # deferred: keep the sweep importable without repro.inspect
+        from repro.inspect.bundle import build_bundle, write_bundle
+
+        for payload in payloads:
+            write_bundle(build_bundle(payload), bdir)
     return payloads  # type: ignore[return-value]
 
 

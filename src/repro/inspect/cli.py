@@ -1,0 +1,158 @@
+"""``python -m repro.inspect`` — show / diff / explain run bundles.
+
+Subcommands::
+
+    show <bundle>                 one bundle's metrics + phase totals
+    diff <a> <b> [--json]         full attributed diff (tables or JSON)
+    explain <a> <b> [--limit N]   the short gate-trip explanation
+
+``<a>`` / ``<b>`` are either bundle *directories* (see
+``repro.inspect.bundle``) or report *files* (``BENCH_headline.json`` or
+a campaign report) — both sides must be the same flavour.  All output
+is byte-deterministic: canonical JSON under ``--json``, fixed-width
+tables otherwise, so CI can diff the diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.harness.digest import canonical_json
+from repro.harness.report import format_table
+from repro.inspect.bundle import BundleError, read_bundle
+from repro.inspect.diff import DEFAULT_TOP, diff_bundles, diff_reports
+from repro.inspect.explain import explain_diff, render_diff_table
+
+
+def _load_side(path: str) -> tuple[str, dict[str, Any]]:
+    """``("bundle"|"report", loaded)`` for one operand."""
+    p = Path(path)
+    if p.is_dir():
+        return "bundle", read_bundle(p)
+    with open(p, encoding="utf-8") as fh:
+        return "report", json.load(fh)
+
+
+def _diff_operands(a_path: str, b_path: str) -> dict[str, Any]:
+    a_kind, a = _load_side(a_path)
+    b_kind, b = _load_side(b_path)
+    if a_kind != b_kind:
+        raise ValueError(
+            f"cannot diff a {a_kind} ({a_path}) against a {b_kind} ({b_path})"
+        )
+    if a_kind == "bundle":
+        return diff_bundles(a, b)
+    return diff_reports(a, b)
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    bundle = read_bundle(args.bundle)
+    if args.json:
+        print(canonical_json(bundle))
+        return 0
+    manifest = bundle["manifest"]
+    meta = manifest.get("meta") or {}
+    files = bundle["files"]
+    metrics = files["metrics.json"]
+    lines = [
+        f"bundle {manifest['bundle_id'][:16]} "
+        f"({meta.get('app')}/{meta.get('scheme')}@{meta.get('n_checkpoints')} "
+        f"seed={meta.get('seed')})",
+        f"digest: {manifest.get('digest')}",
+    ]
+    metric_rows = [
+        [name, f"{metrics[name]:.6g}" if isinstance(metrics.get(name), (int, float)) else "-"]
+        for name in ("throughput", "latency", "rounds_completed")
+    ]
+    for pct, value in (metrics.get("latency_percentiles") or {}).items():
+        metric_rows.append([f"latency_{pct}", f"{value:.6g}"])
+    blocks = ["\n".join(lines), format_table(["metric", "value"], metric_rows)]
+    totals = (files["phases.json"] or {}).get("totals") or {}
+    if totals:
+        blocks.append(
+            format_table(
+                ["phase", "seconds"],
+                [[name, f"{secs:.6g}"] for name, secs in totals.items()],
+                title="phase-span totals",
+            )
+        )
+    cp = files["critical_paths.json"] or {}
+    rounds = cp.get("rounds") or {}
+    if rounds:
+        gating = cp.get("gating") or {}
+        blocks.append(
+            format_table(
+                ["round", "critical path (s)", "gating HAU"],
+                [
+                    [rid, f"{secs:.6g}", str(gating.get(rid, "-"))]
+                    for rid, secs in sorted(rounds.items(), key=lambda kv: int(kv[0]))
+                ],
+                title="checkpoint rounds",
+            )
+        )
+    stragglers = (files["timeline.json"] or {}).get("stragglers") or []
+    if stragglers:
+        blocks.append(
+            "stragglers: "
+            + ", ".join(f"{s['round']}:{s['hau']}" for s in stragglers)
+        )
+    print("\n\n".join(blocks))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    diff = _diff_operands(args.a, args.b)
+    if args.json:
+        print(canonical_json(diff))
+    else:
+        print(render_diff_table(diff, limit=args.limit))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    diff = _diff_operands(args.a, args.b)
+    for line in explain_diff(diff, limit=args.limit):
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.inspect",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="print one bundle's contents")
+    show.add_argument("bundle", help="bundle directory")
+    show.add_argument("--json", action="store_true", help="canonical JSON output")
+    show.set_defaults(func=_cmd_show)
+
+    diff = sub.add_parser("diff", help="attributed diff of two bundles/reports")
+    diff.add_argument("a", help="baseline bundle directory or report file")
+    diff.add_argument("b", help="candidate bundle directory or report file")
+    diff.add_argument("--json", action="store_true", help="canonical JSON output")
+    diff.add_argument("--limit", type=int, default=DEFAULT_TOP,
+                      help=f"max top movers shown (default {DEFAULT_TOP})")
+    diff.set_defaults(func=_cmd_diff)
+
+    explain = sub.add_parser("explain", help="short attributed explanation")
+    explain.add_argument("a", help="baseline bundle directory or report file")
+    explain.add_argument("b", help="candidate bundle directory or report file")
+    explain.add_argument("--limit", type=int, default=5,
+                         help="max attribution lines (default 5)")
+    explain.set_defaults(func=_cmd_explain)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (OSError, ValueError, BundleError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

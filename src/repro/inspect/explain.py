@@ -1,0 +1,243 @@
+"""Turn a diff into an attributed explanation.
+
+Two renderers over the structures produced by :mod:`repro.inspect.diff`:
+
+* :func:`explain_diff` — the short, gate-trip-sized story: which
+  metrics moved, and which phase spans / HAUs / hop kinds the movement
+  is attributed to.  ``benchmarks/check_regression.py`` prints these
+  lines when a gate trips, so CI logs say *"latency is up because
+  hau-3's disk-io grew 0.4s"* instead of bare numbers.
+* :func:`render_diff_table` — the full fixed-width table view used by
+  ``python -m repro.inspect diff``.
+
+Both are pure functions of the diff dict — byte-deterministic output
+for byte-identical inputs, same as everything else in this package.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.harness.report import format_table
+
+# Metrics where a positive delta means the candidate got *worse*.
+# (throughput is the lone higher-is-better headline quantity.)
+HIGHER_IS_WORSE = frozenset(
+    {
+        "latency",
+        "latency_p50",
+        "latency_p95",
+        "latency_p99",
+        "critical_path_max",
+        "critical_path_mean",
+        "critical_path_seconds",
+    }
+)
+
+
+def _g(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.6g}"
+
+
+def _signed(value: float) -> str:
+    return f"{value:+.6g}"
+
+
+def _pct(delta: float, base: float | None) -> str:
+    if not base:
+        return ""
+    return f", {delta / abs(base):+.1%}"
+
+
+def _direction(metric: str, delta: float) -> str:
+    if metric == "throughput":
+        return "worse" if delta < 0 else "better"
+    if metric in HIGHER_IS_WORSE:
+        return "worse" if delta > 0 else "better"
+    return "changed"
+
+
+def _metric_lines(tables: dict[str, dict[str, Any]]) -> list[str]:
+    lines = []
+    for metric, entry in tables.items():
+        delta = entry.get("delta")
+        if not delta:
+            continue
+        lines.append(
+            f"{metric}: {_g(entry['a'])} -> {_g(entry['b'])} "
+            f"({_signed(delta)}{_pct(delta, entry['a'])}, {_direction(metric, delta)})"
+        )
+    return lines
+
+
+def explain_diff(diff: dict[str, Any], limit: int = 5) -> list[str]:
+    """The attributed short story of a diff, as printable lines.
+
+    Accepts any diff produced by this package (``bundle-diff``,
+    ``headline-report-diff``, ``campaign-report-diff``).  Empty movement
+    yields a single "no difference" line rather than silence, so a gate
+    trip always prints *something* attributable.
+    """
+    kind = diff.get("kind", "")
+    lines: list[str] = []
+    if kind == "bundle-diff":
+        if diff.get("identical"):
+            return ["bundles are identical (determinism digests match)"]
+        if not diff.get("same_workload", True):
+            lines.append(
+                "note: bundles come from different workloads "
+                f"({_workload(diff['a'])} vs {_workload(diff['b'])}) — "
+                "deltas compare apples to oranges"
+            )
+        lines.extend(_metric_lines(diff.get("metrics", {})))
+        lines.extend(_metric_lines(diff.get("checkpoint", {})))
+        movers = diff.get("top_movers", [])[:limit]
+        if movers:
+            lines.append("attribution (delta = candidate - baseline):")
+            for m in movers:
+                lines.append(
+                    f"  {m['dimension']} {m['name']}: "
+                    f"{_g(m['a'])}s -> {_g(m['b'])}s ({_signed(m['delta'])}s)"
+                )
+        stragglers = diff.get("stragglers", {})
+        for label, key in (("appeared", "appeared"), ("disappeared", "disappeared")):
+            flagged = stragglers.get(key, [])
+            if flagged:
+                lines.append(f"stragglers {label}: {', '.join(flagged)}")
+    elif kind.endswith("-report-diff"):
+        movers = diff.get("top_movers", [])[:limit]
+        for m in movers:
+            lines.append(
+                f"{m['row']} {m['metric']}: {_g(m['a'])} -> {_g(m['b'])} "
+                f"({_signed(m['delta'])}{_pct(m['delta'], m['a'])}, "
+                f"{_direction(m['metric'], m['delta'])})"
+            )
+    else:
+        raise ValueError(f"not a diff produced by repro.inspect: kind={kind!r}")
+    if not lines:
+        lines.append("no measurable difference between the two sides")
+    return lines
+
+
+def _workload(meta: dict[str, Any]) -> str:
+    return f"{meta.get('app')}/{meta.get('scheme')}@{meta.get('n_checkpoints')}"
+
+
+def _entry_row(name: str, entry: dict[str, Any]) -> list[str]:
+    delta = entry.get("delta")
+    return [
+        name,
+        _g(entry.get("a")),
+        _g(entry.get("b")),
+        _signed(delta) if delta is not None else "-",
+    ]
+
+
+def render_diff_table(diff: dict[str, Any], limit: int = 10) -> str:
+    """Full fixed-width rendering of a diff (the ``diff`` subcommand)."""
+    kind = diff.get("kind", "")
+    if kind == "bundle-diff":
+        return _render_bundle_diff(diff, limit)
+    if kind.endswith("-report-diff"):
+        return _render_report_diff(diff, limit)
+    raise ValueError(f"not a diff produced by repro.inspect: kind={kind!r}")
+
+
+def _render_bundle_diff(diff: dict[str, Any], limit: int) -> str:
+    a, b = diff["a"], diff["b"]
+    blocks = [
+        "\n".join(
+            [
+                f"bundle diff: a={str(a.get('bundle_id'))[:16]} "
+                f"({_workload(a)} seed={a.get('seed')})",
+                f"             b={str(b.get('bundle_id'))[:16]} "
+                f"({_workload(b)} seed={b.get('seed')})",
+                f"identical: {'yes' if diff.get('identical') else 'no'}"
+                + ("" if diff.get("same_workload") else "  [different workloads]"),
+            ]
+        )
+    ]
+    metric_rows = [
+        _entry_row(name, entry)
+        for name, entry in {**diff.get("metrics", {}), **diff.get("checkpoint", {})}.items()
+    ]
+    blocks.append(
+        format_table(["metric", "a", "b", "delta"], metric_rows, title="metrics")
+    )
+    phase_rows = [
+        _entry_row(name, entry) for name, entry in diff.get("phases", {}).items()
+    ]
+    if phase_rows:
+        blocks.append(
+            format_table(
+                ["phase", "a (s)", "b (s)", "delta (s)"],
+                phase_rows,
+                title="phase-span totals",
+            )
+        )
+    movers = diff.get("top_movers", [])[:limit]
+    if movers:
+        blocks.append(
+            format_table(
+                ["dimension", "name", "a (s)", "b (s)", "delta (s)"],
+                [
+                    [m["dimension"], m["name"], _g(m["a"]), _g(m["b"]), _signed(m["delta"])]
+                    for m in movers
+                ],
+                title="top movers",
+            )
+        )
+    stragglers = diff.get("stragglers", {})
+    straggler_lines = [
+        f"stragglers {label}: {', '.join(stragglers[label])}"
+        for label in ("appeared", "disappeared")
+        if stragglers.get(label)
+    ]
+    if straggler_lines:
+        blocks.append("\n".join(straggler_lines))
+    return "\n\n".join(blocks)
+
+
+def _render_report_diff(diff: dict[str, Any], limit: int) -> str:
+    blocks = [f"{diff['kind']}: {len(diff.get('rows', {}))} row(s) compared"]
+    changed_rows = []
+    for key, row in diff.get("rows", {}).items():
+        if not row["in_a"] or not row["in_b"]:
+            side = "a" if row["in_a"] else "b"
+            changed_rows.append([key, f"only in {side}", "-", "-", "-"])
+            continue
+        for metric, entry in row["metrics"].items():
+            if entry.get("delta"):
+                changed_rows.append([key, *_entry_row(metric, entry)])
+    if changed_rows:
+        blocks.append(
+            format_table(
+                ["row", "metric", "a", "b", "delta"],
+                changed_rows,
+                title="changed cells",
+            )
+        )
+    else:
+        blocks.append("no per-row differences")
+    movers = diff.get("top_movers", [])[:limit]
+    if movers:
+        blocks.append(
+            format_table(
+                ["row", "metric", "a", "b", "delta", "|rel|"],
+                [
+                    [
+                        m["row"],
+                        m["metric"],
+                        _g(m["a"]),
+                        _g(m["b"]),
+                        _signed(m["delta"]),
+                        f"{m['magnitude']:.3f}",
+                    ]
+                    for m in movers
+                ],
+                title="top movers",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -13,6 +13,10 @@ Two input modes:
 Formats: ``table`` (fixed-width, via the harness formatter), ``json``
 (deterministic timeline + critical paths + stragglers), and
 ``chrome-trace`` (Perfetto / ``chrome://tracing`` loadable).
+
+``--straggler-report`` narrows the output to just the straggler report
+(HAUs whose per-round checkpoint time exceeds ``--straggler-k`` x the
+round median) in table or json form.
 """
 
 from __future__ import annotations
@@ -103,24 +107,9 @@ def render_timeline(
                 )
             )
 
-    stragglers = [
-        s
-        for s in straggler_report(tl, k=straggler_k)
-        if round_filter is None or s.round_id == round_filter
-    ]
-    if stragglers:
-        rows = [
-            [s.round_id, s.hau_id, _fmt_t(s.seconds), _fmt_t(s.median_seconds),
-             f"{s.ratio:.2f}x"]
-            for s in stragglers
-        ]
-        sections.append(
-            format_table(
-                ["round", "hau", "seconds", "median", "ratio"],
-                rows,
-                title=f"Stragglers (> {straggler_k:g}x round median)",
-            )
-        )
+    straggler_table = render_stragglers(tl, round_filter, straggler_k)
+    if straggler_table is not None:
+        sections.append(straggler_table)
 
     if tl.recoveries:
         rows = [
@@ -145,6 +134,31 @@ def render_timeline(
     if not sections:
         sections.append("empty trace: no rounds, recoveries or spans")
     return "\n\n".join(sections)
+
+
+def render_stragglers(
+    tl: Timeline, round_filter: int | None, straggler_k: float
+) -> str | None:
+    """Straggler table for one timeline; ``None`` when nothing is flagged."""
+    from repro.harness.report import format_table
+
+    stragglers = [
+        s
+        for s in straggler_report(tl, k=straggler_k)
+        if round_filter is None or s.round_id == round_filter
+    ]
+    if not stragglers:
+        return None
+    rows = [
+        [s.round_id, s.hau_id, _fmt_t(s.seconds), _fmt_t(s.median_seconds),
+         f"{s.ratio:.2f}x"]
+        for s in stragglers
+    ]
+    return format_table(
+        ["round", "hau", "seconds", "median", "ratio"],
+        rows,
+        title=f"Stragglers (> {straggler_k:g}x round median)",
+    )
 
 
 def timeline_payload(
@@ -215,6 +229,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="show per-round critical-path hops (table format)")
     parser.add_argument("--straggler-k", type=float, default=2.0,
                         help="straggler threshold: k x round median (default 2)")
+    parser.add_argument("--straggler-report", action="store_true",
+                        help="print only the straggler report (table/json formats)")
     parser.add_argument("--output", "-o", default=None,
                         help="write to a file instead of stdout")
     run = parser.add_argument_group("run mode (no trace file)")
@@ -256,6 +272,32 @@ def main(argv: list[str] | None = None) -> int:
             print("error: no schemes to run", file=sys.stderr)
             return 2
 
+    if args.straggler_report:
+        if args.format == "chrome-trace":
+            print("error: --straggler-report supports table/json formats only",
+                  file=sys.stderr)
+            return 2
+        if args.format == "json":
+            payload = {}
+            for name, src in sources:
+                tl = build_timeline(src)
+                payload[name or "trace"] = [
+                    s.as_dict()
+                    for s in straggler_report(tl, k=args.straggler_k)
+                    if args.round is None or s.round_id == args.round
+                ]
+            text = json.dumps(payload, **_JSON_KW) + "\n"
+        else:
+            parts = []
+            for name, src in sources:
+                tl = build_timeline(src)
+                table = render_stragglers(tl, args.round, args.straggler_k)
+                if table is None:
+                    table = f"no stragglers (> {args.straggler_k:g}x round median)"
+                parts.append(f"== {name} ==\n\n{table}" if name else table)
+            text = "\n\n".join(parts) + "\n"
+        return _write_output(text, args.output)
+
     if args.format == "chrome-trace":
         traces = [
             to_chrome_trace(
@@ -291,9 +333,13 @@ def main(argv: list[str] | None = None) -> int:
             )
         text = "\n\n".join(parts) + "\n"
 
+    return _write_output(text, args.output)
+
+
+def _write_output(text: str, output: str | None) -> int:
     try:
-        if args.output:
-            with open(args.output, "w", encoding="utf-8", newline="\n") as fh:
+        if output:
+            with open(output, "w", encoding="utf-8", newline="\n") as fh:
                 fh.write(text)
         else:
             sys.stdout.write(text)

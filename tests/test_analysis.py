@@ -1195,3 +1195,127 @@ def test_live_tree_scn001_clean():
     config = AnalysisConfig(root=root, dirs=("src",), rule_ids=("SCN001",))
     project = run_analysis(config)
     assert [f.message for f in project.findings] == []
+
+
+# ---------------------------------------------------------------------------
+# INS001 — inspect phase-span sync (profiler / bundle / DESIGN.md)
+# ---------------------------------------------------------------------------
+
+_INS_SPANS = """
+    PHASES = ("token-wait", "snapshot")
+"""
+
+_INS_BUNDLE = """
+    PHASE_SPANS = ("token-wait", "snapshot")
+"""
+
+_INS_DESIGN = """
+    ## Run bundles & diffing (repro.inspect)
+
+    | file | contents |
+    |---|---|
+    | `MANIFEST.json` | hashes |
+    | `phases.json` | totals over the phases `token-wait`, `snapshot` |
+"""
+
+
+def _ins_fixture(tmp_path, spans=_INS_SPANS, bundle=_INS_BUNDLE, design=_INS_DESIGN):
+    return run_fixture(
+        tmp_path,
+        {
+            "src/repro/profiling/spans.py": spans,
+            "src/repro/inspect/bundle.py": bundle,
+        },
+        design=design,
+        rule_ids=["INS001"],
+    )
+
+
+def test_ins001_quiet_when_everything_in_sync(tmp_path):
+    assert rules_of(_ins_fixture(tmp_path)) == []
+
+
+def test_ins001_profiler_phase_missing_from_bundle(tmp_path):
+    spans = _INS_SPANS.replace('"snapshot")', '"snapshot", "disk-io")')
+    project = _ins_fixture(tmp_path, spans=spans)
+    messages = [f.message for f in project.findings]
+    assert any("`disk-io`" in m and "silently vanish" in m for m in messages)
+
+
+def test_ins001_bundle_phase_profiler_never_emits(tmp_path):
+    bundle = _INS_BUNDLE.replace('"snapshot")', '"snapshot", "warp")')
+    design = _INS_DESIGN.replace("`snapshot`", "`snapshot`, `warp`")
+    project = _ins_fixture(tmp_path, bundle=bundle, design=design)
+    messages = [f.message for f in project.findings]
+    assert any("`warp`" in m and "cannot occur" in m for m in messages)
+
+
+def test_ins001_order_mismatch(tmp_path):
+    bundle = 'PHASE_SPANS = ("snapshot", "token-wait")\n'
+    project = _ins_fixture(tmp_path, bundle=bundle)
+    messages = [f.message for f in project.findings]
+    assert any("different order" in m for m in messages)
+
+
+def test_ins001_documented_drift_both_directions(tmp_path):
+    spans = _INS_SPANS.replace('"snapshot")', '"snapshot", "disk-io")')
+    bundle = _INS_BUNDLE.replace('"snapshot")', '"snapshot", "disk-io")')
+    design = _INS_DESIGN.replace("`snapshot`", "`snapshot`, `mystery-wait`")
+    project = _ins_fixture(tmp_path, spans=spans, bundle=bundle, design=design)
+    messages = [f.message for f in project.findings]
+    assert any("`disk-io`" in m and "undocumented" in m for m in messages)
+    assert any("`mystery-wait`" in m and "not declared" in m for m in messages)
+
+
+def test_ins001_warns_without_design_table(tmp_path):
+    project = _ins_fixture(tmp_path, design="# nothing relevant\n")
+    findings = [f for f in project.findings if f.rule == "INS001"]
+    assert len(findings) == 1
+    assert findings[0].severity is Severity.WARNING
+    assert "no `phases.json` row" in findings[0].message
+
+
+def test_ins001_silent_without_inspect_layer(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {"src/repro/profiling/spans.py": _INS_SPANS},
+        design=_INS_DESIGN,
+        rule_ids=["INS001"],
+    )
+    assert rules_of(project) == []
+
+
+def test_ins001_ignores_tuples_outside_tracked_paths(tmp_path):
+    # a PHASE_SPANS in some unrelated module must not be harvested
+    project = run_fixture(
+        tmp_path,
+        {
+            "src/repro/profiling/spans.py": _INS_SPANS,
+            "src/repro/inspect/bundle.py": _INS_BUNDLE,
+            "src/other.py": 'PHASE_SPANS = ("bogus",)\n',
+        },
+        design=_INS_DESIGN,
+        rule_ids=["INS001"],
+    )
+    assert rules_of(project) == []
+
+
+def test_parse_bundle_phases_table():
+    import textwrap as _tw
+
+    from repro.analysis.inspect_rule import parse_bundle_phases
+
+    phases = parse_bundle_phases(_tw.dedent(_INS_DESIGN))
+    assert set(phases) == {"token-wait", "snapshot"}
+    # tokens outside the phases.json row never count
+    assert "hashes" not in phases and "file" not in phases
+
+
+def test_live_tree_ins001_clean():
+    """The real src/ + DESIGN.md must satisfy INS001 (the CI gate)."""
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parent.parent
+    config = AnalysisConfig(root=root, dirs=("src",), rule_ids=("INS001",))
+    project = run_analysis(config)
+    assert [f.message for f in project.findings] == []
