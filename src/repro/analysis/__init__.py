@@ -24,6 +24,7 @@ from repro.analysis.registry import Rule, all_rules, get_rule, register
 # Importing the rule modules registers their rules.
 from repro.analysis import (  # noqa: F401  (registration side effect)
     determinism,
+    flow,
     inspect_rule,
     protocol,
     schema,

@@ -25,12 +25,18 @@ class Baseline:
 
     counts: dict[str, int] = field(default_factory=dict)
     context: dict[str, dict] = field(default_factory=dict)
+    #: fingerprints whose recorded count exceeded the matching findings on
+    #: the last :meth:`apply` — suppressions for violations that no longer
+    #: exist (fingerprint -> unused count).  Hygiene: they should be
+    #: pruned, or they will silently mask a future regression.
+    stale: dict[str, int] = field(default_factory=dict)
 
     def apply(self, findings: list[Finding]) -> tuple[list[Finding], int]:
         """Partition into (unsuppressed, n_suppressed).
 
         Each fingerprint suppresses at most its recorded count, so a
-        *new* duplicate of a baselined finding still surfaces.
+        *new* duplicate of a baselined finding still surfaces.  Leftover
+        counts are recorded in :attr:`stale`.
         """
         remaining = dict(self.counts)
         kept: list[Finding] = []
@@ -42,7 +48,19 @@ class Baseline:
                 suppressed += 1
             else:
                 kept.append(finding)
+        self.stale = {fp: n for fp, n in sorted(remaining.items()) if n > 0}
         return kept, suppressed
+
+    def stale_entries(self) -> list[dict]:
+        """The :attr:`stale` map joined with its recorded context, in
+        fingerprint order, ready for the JSON report."""
+        entries = []
+        for fp in sorted(self.stale):
+            entry = dict(self.context.get(fp, {}))
+            entry["fingerprint"] = fp
+            entry["unused_count"] = self.stale[fp]
+            entries.append(entry)
+        return entries
 
     def as_dict(self) -> dict:
         suppressions = {}

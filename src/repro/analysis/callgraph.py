@@ -1,0 +1,481 @@
+"""Project-wide import/call graph with nondeterminism taint facts.
+
+Built once per analysis run by the engine (one extra linear pass over
+each already-parsed module), then consumed by the interprocedural rules
+in :mod:`repro.analysis.flow` and exported by the CLI's ``--call-graph``.
+
+Scope and resolution strategy (a lint heuristic, not a type system):
+
+* every top-level function and every method becomes a node, keyed by its
+  dotted qualname (``repro.core.base.MeteorShowerBase.write_checkpoint``);
+  nested functions/lambdas/comprehensions are folded into their enclosing
+  node (their calls and taint sources are attributed to it);
+* ``name(...)`` resolves through the module's functions, then through the
+  import alias table into other project modules; calling a known class
+  resolves to its ``__init__``;
+* ``self.meth(...)`` resolves through the enclosing class and its
+  project-known ancestors (bare class names, first definition wins — the
+  same convention PROTO001 uses);
+* ``obj.meth(...)`` resolves through the import table when the receiver
+  is a project module/class, otherwise falls back to *every* project
+  method of that name, capped at :data:`METHOD_FANOUT_LIMIT` targets so
+  ubiquitous names cannot connect the whole graph;
+* module-level statements are not nodes — a constant initialised from
+  ``os.environ`` at import time is configuration, not a flow the graph
+  can follow.
+
+Each node also records the *taint seeds* it contains (wall clock, global
+RNG, ``os.environ``, unsorted filesystem enumeration, ``id()``/``hash()``
+— see :mod:`repro.analysis.nondet`) and the *sink facts* it exhibits
+(serialiser-named function, trace emission, telemetry metric calls).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.astutil import canonical_name, receiver_tail
+from repro.analysis.nondet import (
+    FS_ENUM_CALLS,
+    FS_ENUM_METHODS,
+    NUMPY_GLOBAL_RNG,
+    PROCESS_SENSITIVE_BUILTINS,
+    WALL_CLOCK_CALLS,
+)
+
+#: An attribute-call name is resolved against the project method index
+#: only when it matches at most this many definitions; beyond it the
+#: name is treated as too generic to link (precision over recall).
+METHOD_FANOUT_LIMIT = 8
+
+#: Function-name fragments that mark export/serialisation sinks (shared
+#: shape with DET003's serialiser heuristic).
+SERIALIZER_NAME = re.compile(
+    r"(^|_)(as_dict|to_|dump|dumps|write_|export|serialize|snapshot|series_dict|jsonl)"
+)
+
+_TELEMETRY_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+_TELEMETRY_RECEIVERS = frozenset({"telemetry", "telem"})
+
+
+@dataclass(frozen=True)
+class TaintSeed:
+    """One direct nondeterminism source inside a function body."""
+
+    kind: str  # key into nondet.TAINT_KINDS
+    detail: str  # the offending symbol, e.g. "time.time"
+    lineno: int
+
+
+@dataclass(frozen=True)
+class _CallSite:
+    lineno: int
+    kind: str  # "name" | "self" | "attr"
+    name: str  # bare callee name
+    canonical: str | None  # alias-resolved dotted name, if any
+
+
+@dataclass
+class FunctionNode:
+    """One function/method of the analysed project."""
+
+    qualname: str
+    module: str
+    cls: str | None
+    name: str
+    relpath: str
+    lineno: int
+    is_generator: bool
+    calls: list[_CallSite] = field(default_factory=list)
+    seeds: list[TaintSeed] = field(default_factory=list)
+    sinks: tuple[str, ...] = ()
+    edges: tuple[str, ...] = ()  # resolved callee qualnames (finish())
+
+
+def module_name(relpath: str) -> str:
+    """Dotted module name for a scanned file.
+
+    ``src/repro/core/base.py`` -> ``repro.core.base``; files outside
+    ``src`` keep their top directory as a pseudo-package
+    (``benchmarks/bench_fig5.py`` -> ``benchmarks.bench_fig5``).
+    """
+    parts = relpath[:-3].split("/") if relpath.endswith(".py") else relpath.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class CallGraph:
+    """The finished graph: nodes, resolved edges, class ancestry."""
+
+    def __init__(
+        self,
+        nodes: dict[str, FunctionNode],
+        class_bases: dict[str, tuple[str, ...]],
+        class_methods: dict[str, dict[str, str]],
+    ):
+        self.nodes = nodes
+        self.class_bases = class_bases
+        self.class_methods = class_methods
+
+    def ancestors(self, cls: str) -> set[str]:
+        """Transitive base-class names (bare-name heuristic)."""
+        seen: set[str] = set()
+        stack = list(self.class_bases.get(cls, ()))
+        while stack:
+            base = stack.pop()
+            if base in seen:
+                continue
+            seen.add(base)
+            stack.extend(self.class_bases.get(base, ()))
+        return seen
+
+    def taint_paths(
+        self,
+        start: str,
+        *,
+        skip_direct: frozenset[str] = frozenset(),
+        seed_ok=None,
+    ) -> list[tuple[TaintSeed, list[str]]]:
+        """Shortest call chains from ``start`` to every reachable taint kind.
+
+        Returns ``[(seed, [start, ..., seed_holder])]``, one entry per
+        ``(kind, holder)`` pair, in BFS (shortest-chain) order.  Seeds of
+        a kind in ``skip_direct`` are ignored when they sit directly in
+        ``start`` itself (a per-file rule already owns that report).
+        ``seed_ok(node, seed)`` may veto individual seeds (suppression).
+        """
+        hits: list[tuple[TaintSeed, list[str]]] = []
+        claimed: set[tuple[str, str]] = set()
+        parent: dict[str, str | None] = {start: None}
+        queue = [start]
+        while queue:
+            nxt: list[str] = []
+            for qual in queue:
+                node = self.nodes.get(qual)
+                if node is None:
+                    continue
+                for seed in node.seeds:
+                    if qual == start and seed.kind in skip_direct:
+                        continue
+                    if seed_ok is not None and not seed_ok(node, seed):
+                        continue
+                    key = (seed.kind, qual)
+                    if key in claimed:
+                        continue
+                    claimed.add(key)
+                    chain: list[str] = []
+                    cur: str | None = qual
+                    while cur is not None:
+                        chain.append(cur)
+                        cur = parent[cur]
+                    hits.append((seed, list(reversed(chain))))
+                for callee in node.edges:
+                    if callee not in parent:
+                        parent[callee] = qual
+                        nxt.append(callee)
+            queue = nxt
+        return hits
+
+    # -- exports ------------------------------------------------------------
+    def as_dict(self) -> dict:
+        nodes = []
+        for qual in sorted(self.nodes):
+            node = self.nodes[qual]
+            nodes.append(
+                {
+                    "qualname": node.qualname,
+                    "path": node.relpath,
+                    "line": node.lineno,
+                    "generator": node.is_generator,
+                    "sinks": sorted(node.sinks),
+                    "seeds": [
+                        {"kind": s.kind, "detail": s.detail, "line": s.lineno}
+                        for s in sorted(node.seeds, key=lambda s: (s.lineno, s.kind))
+                    ],
+                    "calls": list(node.edges),
+                }
+            )
+        return {"version": 1, "functions": nodes}
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    def to_dot(self) -> str:
+        """Graphviz rendering: sinks are doubled boxes, seeded nodes red."""
+        lines = ["digraph callgraph {", "  rankdir=LR;", "  node [shape=box, fontsize=9];"]
+        for qual in sorted(self.nodes):
+            node = self.nodes[qual]
+            attrs = []
+            if node.seeds:
+                attrs.append('color="red"')
+            if node.sinks:
+                attrs.append('peripheries="2"')
+            suffix = f" [{', '.join(attrs)}]" if attrs else ""
+            lines.append(f'  "{qual}"{suffix};')
+        for qual in sorted(self.nodes):
+            for callee in self.nodes[qual].edges:
+                lines.append(f'  "{qual}" -> "{callee}";')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+class CallGraphBuilder:
+    """Accumulates per-module facts during the engine walk."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, FunctionNode] = {}
+        self._class_bases: dict[str, tuple[str, ...]] = {}
+        self._class_methods: dict[str, dict[str, str]] = {}
+        self._module_funcs: dict[tuple[str, str], str] = {}
+        self._dotted: dict[str, str] = {}  # "mod.fn" / "mod.Cls.meth" -> qualname
+        self._method_index: dict[str, list[str]] = {}
+
+    def add_module(self, ctx) -> None:
+        """Record every function/method of one parsed module.
+
+        ``ctx`` is the engine's ModuleContext (duck-typed: ``relpath``,
+        ``tree``, ``imports``).
+        """
+        mod = module_name(ctx.relpath)
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(ctx, mod, None, stmt)
+            elif isinstance(stmt, ast.ClassDef):
+                bases = tuple(
+                    b for b in (_base_name(base) for base in stmt.bases) if b is not None
+                )
+                # first definition wins (fixture shadowing cannot hide a class)
+                self._class_bases.setdefault(stmt.name, bases)
+                methods = self._class_methods.setdefault(stmt.name, {})
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qual = self._add_function(ctx, mod, stmt.name, sub)
+                        methods.setdefault(sub.name, qual)
+
+    def _add_function(
+        self, ctx, mod: str, cls: str | None, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> str:
+        qual = f"{mod}.{cls}.{fn.name}" if cls else f"{mod}.{fn.name}"
+        node = FunctionNode(
+            qualname=qual,
+            module=mod,
+            cls=cls,
+            name=fn.name,
+            relpath=ctx.relpath,
+            lineno=fn.lineno,
+            is_generator=_is_generator(fn),
+        )
+        _scan_body(node, fn, ctx.imports)
+        if SERIALIZER_NAME.search(fn.name):
+            node.sinks += ("serializer",)
+        # later duplicate definitions of the same qualname keep the first
+        if qual not in self._nodes:
+            self._nodes[qual] = node
+            if cls is None:
+                self._module_funcs[(mod, fn.name)] = qual
+                self._dotted[f"{mod}.{fn.name}"] = qual
+            else:
+                self._dotted[f"{mod}.{cls}.{fn.name}"] = qual
+                self._method_index.setdefault(fn.name, []).append(qual)
+        return qual
+
+    # -- resolution ---------------------------------------------------------
+    def finish(self) -> CallGraph:
+        graph = CallGraph(self._nodes, self._class_bases, self._class_methods)
+        for node in self._nodes.values():
+            edges: list[str] = []
+            for site in node.calls:
+                edges.extend(self._resolve(node, site, graph))
+            node.edges = tuple(dict.fromkeys(edges))
+        return graph
+
+    def _resolve(self, node: FunctionNode, site: _CallSite, graph: CallGraph) -> list[str]:
+        if site.kind == "name":
+            local = self._module_funcs.get((node.module, site.name))
+            if local is not None:
+                return [local]
+            ctor = self._constructor(site.name)
+            if ctor is not None:
+                return [ctor]
+            if site.canonical is not None:
+                return self._resolve_dotted(site.canonical)
+            return []
+        if site.kind == "self":
+            if node.cls is not None:
+                qual = self._lookup_method(node.cls, site.name, graph)
+                if qual is not None:
+                    return [qual]
+            return self._fallback(site.name)
+        # attr call on an arbitrary receiver
+        if site.canonical is not None:
+            dotted = self._resolve_dotted(site.canonical)
+            if dotted:
+                return dotted
+        return self._fallback(site.name)
+
+    def _resolve_dotted(self, canonical: str) -> list[str]:
+        qual = self._dotted.get(canonical)
+        if qual is not None:
+            return [qual]
+        # a dotted reference to a class is a constructor call
+        tail = canonical.rsplit(".", 1)[-1]
+        ctor = self._constructor(tail)
+        if ctor is not None and tail in self._class_bases:
+            return [ctor]
+        return []
+
+    def _constructor(self, name: str) -> str | None:
+        if name in self._class_bases:
+            methods = self._class_methods.get(name, {})
+            init = methods.get("__init__")
+            if init is not None:
+                return init
+        return None
+
+    def _lookup_method(self, cls: str, name: str, graph: CallGraph) -> str | None:
+        methods = self._class_methods.get(cls, {})
+        if name in methods:
+            return methods[name]
+        for base in graph.ancestors(cls):
+            qual = self._class_methods.get(base, {}).get(name)
+            if qual is not None:
+                return qual
+        return None
+
+    def _fallback(self, name: str) -> list[str]:
+        quals = self._method_index.get(name, [])
+        if 1 <= len(quals) <= METHOD_FANOUT_LIMIT:
+            return list(quals)
+        return []
+
+
+def _base_name(base: ast.AST) -> str | None:
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return None
+
+
+def _is_generator(fn: ast.AST) -> bool:
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _scan_body(node: FunctionNode, fn: ast.AST, imports: dict[str, str]) -> None:
+    """One walk of a function body: call sites, taint seeds, sink facts.
+
+    Nested function bodies are folded in (their calls execute on behalf
+    of the enclosing function for the purposes of taint flow).
+    """
+    # pre-pass: filesystem enumerations directly wrapped in sorted() are
+    # order-laundered and do not seed taint
+    sanctified: set[int] = set()
+    for sub in ast.walk(fn):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == "sorted"
+        ):
+            for inner in ast.walk(sub):
+                if inner is not sub:
+                    sanctified.add(id(inner))
+
+    seen_environ_lines: set[int] = set()
+    for sub in ast.walk(fn):
+        if isinstance(sub, ast.Attribute):
+            # bare `os.environ` access (attribute or subscript read)
+            if canonical_name(imports, sub) == "os.environ":
+                if sub.lineno not in seen_environ_lines:
+                    seen_environ_lines.add(sub.lineno)
+                    node.seeds.append(TaintSeed("environ", "os.environ", sub.lineno))
+            continue
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        canonical = canonical_name(imports, func)
+        # ---- taint seeds -------------------------------------------------
+        if canonical is not None:
+            if canonical in WALL_CLOCK_CALLS:
+                node.seeds.append(TaintSeed("wall-clock", canonical, sub.lineno))
+            else:
+                parts = canonical.split(".")
+                if parts[0] == "random" and len(parts) > 1:
+                    node.seeds.append(TaintSeed("global-rng", canonical, sub.lineno))
+                elif (
+                    len(parts) == 3
+                    and parts[0] == "numpy"
+                    and parts[1] == "random"
+                    and parts[2] in NUMPY_GLOBAL_RNG
+                ):
+                    node.seeds.append(TaintSeed("global-rng", canonical, sub.lineno))
+            if canonical == "os.getenv":
+                node.seeds.append(TaintSeed("environ", "os.getenv", sub.lineno))
+            if canonical in FS_ENUM_CALLS and id(sub) not in sanctified:
+                node.seeds.append(TaintSeed("fs-order", canonical, sub.lineno))
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in FS_ENUM_METHODS
+            and (canonical is None or canonical not in FS_ENUM_CALLS)
+            and id(sub) not in sanctified
+        ):
+            recv = receiver_tail(func) or "<path>"
+            node.seeds.append(
+                TaintSeed("fs-order", f"{recv}.{func.attr}", sub.lineno)
+            )
+        if (
+            isinstance(func, ast.Name)
+            and func.id in PROCESS_SENSITIVE_BUILTINS
+            and func.id not in imports
+        ):
+            node.seeds.append(TaintSeed("process-id", f"{func.id}()", sub.lineno))
+        # ---- sink facts --------------------------------------------------
+        if isinstance(func, ast.Attribute):
+            tail = receiver_tail(func)
+            if func.attr == "emit" and tail == "trace" and "trace-event" not in node.sinks:
+                node.sinks += ("trace-event",)
+            if (
+                func.attr in _TELEMETRY_FACTORIES
+                and tail in _TELEMETRY_RECEIVERS
+                and "telemetry" not in node.sinks
+            ):
+                node.sinks += ("telemetry",)
+        # ---- call sites --------------------------------------------------
+        if isinstance(func, ast.Name):
+            node.calls.append(
+                _CallSite(
+                    sub.lineno,
+                    "name",
+                    func.id,
+                    canonical if canonical != func.id else None,
+                )
+            )
+        elif isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                node.calls.append(_CallSite(sub.lineno, "self", func.attr, None))
+            else:
+                node.calls.append(_CallSite(sub.lineno, "attr", func.attr, canonical))
+
+
+__all__ = [
+    "CallGraph",
+    "CallGraphBuilder",
+    "FunctionNode",
+    "METHOD_FANOUT_LIMIT",
+    "SERIALIZER_NAME",
+    "TaintSeed",
+    "module_name",
+]

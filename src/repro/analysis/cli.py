@@ -1,7 +1,8 @@
 """The repro-lint command line.
 
-``python -m repro.analysis [--strict] [--format json|text]
-[--baseline FILE] [--write-baseline FILE] [--list-rules] [DIRS...]``
+``python -m repro.analysis [--strict] [--format json|text|github]
+[--baseline FILE] [--write-baseline FILE] [--include-dirs DIRS]
+[--call-graph FILE] [--list-rules] [DIRS...]``
 
 Exit codes: 0 — clean (errors gate by default; ``--strict`` gates
 warnings too); 1 — at least one gating finding survived baseline and
@@ -49,6 +50,7 @@ def report_dict(
     findings: list[Finding],
     suppressed: int,
     strict: bool,
+    stale_baseline: list[dict] | None = None,
 ) -> dict:
     counts: dict[str, int] = {}
     for f in findings:
@@ -57,13 +59,32 @@ def report_dict(
         "version": REPORT_VERSION,
         "strict": strict,
         "dirs": list(project.config.dirs),
+        "extra_dirs": list(project.config.extra_dirs),
         "files_scanned": project.files_scanned,
         "rules": [cls.id for cls in all_rules()],
         "findings": [f.as_dict() for f in findings],
         "counts": dict(sorted(counts.items())),
         "suppressed_baseline": suppressed,
         "suppressed_inline": project.inline_suppressed,
+        "stale_baseline": stale_baseline or [],
     }
+
+
+def _github_escape(text: str) -> str:
+    """Escape message data for a workflow command (single line)."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def render_github(findings: list[Finding]) -> list[str]:
+    """GitHub Actions workflow-command annotations, one per finding."""
+    lines = []
+    for f in findings:
+        level = "error" if f.severity == Severity.ERROR else "warning"
+        lines.append(
+            f"::{level} file={f.path},line={f.line},col={f.col},"
+            f"title={f.rule}::{_github_escape(f.message)}"
+        )
+    return lines
 
 
 def _gating(findings: list[Finding], strict: bool) -> list[Finding]:
@@ -89,9 +110,25 @@ def main(argv: list[str] | None = None) -> int:
         "--strict", action="store_true", help="warnings gate the exit code too"
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", help="report format"
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="report format (github = Actions ::error/::warning annotations)",
     )
     parser.add_argument("--baseline", default=None, help="baseline suppression file")
+    parser.add_argument(
+        "--include-dirs",
+        default=None,
+        metavar="DIRS",
+        help="comma-separated extra top-level directories to lint (opt-in "
+        "scope extension, e.g. tests; inventory-sync rules stay scoped)",
+    )
+    parser.add_argument(
+        "--call-graph",
+        default=None,
+        metavar="FILE",
+        help="export the resolved call graph (.dot = Graphviz, else JSON)",
+    )
     parser.add_argument(
         "--write-baseline",
         default=None,
@@ -131,11 +168,25 @@ def main(argv: list[str] | None = None) -> int:
         dirs=tuple(args.dirs) if args.dirs else DEFAULT_DIRS,
         design_path=Path(args.design) if args.design else None,
         rule_ids=tuple(args.rules.split(",")) if args.rules else None,
+        extra_dirs=tuple(
+            d for d in (args.include_dirs or "").split(",") if d
+        ),
     )
     project = run_analysis(config)
-    findings = project.findings
+    all_findings = project.findings
+    findings = all_findings
+
+    if args.call_graph and project.callgraph is not None:
+        out = Path(args.call_graph)
+        text = (
+            project.callgraph.to_dot()
+            if out.suffix == ".dot"
+            else project.callgraph.to_json()
+        )
+        out.write_text(text, encoding="utf-8")
 
     suppressed = 0
+    stale: list[dict] = []
     if args.baseline:
         try:
             baseline = load_baseline(args.baseline)
@@ -143,22 +194,39 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: cannot load baseline: {exc}", file=sys.stderr)
             return 2
         findings, suppressed = baseline.apply(findings)
+        stale = baseline.stale_entries()
 
     if args.write_baseline:
-        write_baseline(baseline_from_findings(findings), args.write_baseline)
-        print(f"baseline with {len(findings)} finding(s) written to {args.write_baseline}")
+        # Rebuild from the *full* finding set so fingerprints whose
+        # violation no longer exists are pruned, not carried forward.
+        write_baseline(baseline_from_findings(all_findings), args.write_baseline)
+        pruned = f", {len(stale)} stale fingerprint(s) pruned" if stale else ""
+        print(
+            f"baseline with {len(all_findings)} finding(s) written to "
+            f"{args.write_baseline}{pruned}"
+        )
         return 0
 
-    doc = report_dict(project, findings, suppressed, args.strict)
+    doc = report_dict(project, findings, suppressed, args.strict, stale)
     if args.format == "json":
         rendered = json.dumps(doc, indent=2, sort_keys=True) + "\n"
     else:
-        lines = [f.render() for f in findings]
+        if args.format == "github":
+            lines = render_github(findings)
+        else:
+            lines = [f.render() for f in findings]
         gating = _gating(findings, args.strict)
+        for entry in stale:
+            lines.append(
+                "repro-lint: stale baseline entry "
+                f"{entry['fingerprint']} ({entry.get('rule', '?')} "
+                f"{entry.get('path', '?')}) — rerun --write-baseline to prune"
+            )
         lines.append(
             f"repro-lint: {project.files_scanned} files, "
             f"{len(findings)} finding(s) ({len(gating)} gating), "
             f"{suppressed} baselined, {project.inline_suppressed} inline-suppressed"
+            + (f", {len(stale)} stale baseline entry(ies)" if stale else "")
         )
         rendered = "\n".join(lines) + "\n"
     sys.stdout.write(rendered)

@@ -15,56 +15,13 @@ import re
 
 from repro.analysis.engine import ModuleContext, receiver_tail
 from repro.analysis.findings import Severity
+from repro.analysis.nondet import (
+    FS_ENUM_CALLS,
+    FS_ENUM_METHODS,
+    NUMPY_GLOBAL_RNG,
+    WALL_CLOCK_CALLS,
+)
 from repro.analysis.registry import Rule, register
-
-# Canonical dotted names whose *call* reads the wall clock (or stalls on
-# it): any of these in model code couples simulated behaviour to real
-# time and breaks same-seed reproducibility.
-WALL_CLOCK_CALLS = frozenset(
-    {
-        "time.time",
-        "time.time_ns",
-        "time.monotonic",
-        "time.monotonic_ns",
-        "time.perf_counter",
-        "time.perf_counter_ns",
-        "time.process_time",
-        "time.process_time_ns",
-        "time.clock_gettime",
-        "time.sleep",
-        "datetime.datetime.now",
-        "datetime.datetime.utcnow",
-        "datetime.datetime.today",
-        "datetime.date.today",
-    }
-)
-
-# numpy.random module-level functions that draw from (or reseed) the
-# process-global legacy RandomState.  Constructors of independent
-# generators (default_rng, SeedSequence, Generator, PCG64, ...) are the
-# supported path and are deliberately absent.
-NUMPY_GLOBAL_RNG = frozenset(
-    {
-        "seed",
-        "random",
-        "rand",
-        "randn",
-        "randint",
-        "random_sample",
-        "random_integers",
-        "choice",
-        "shuffle",
-        "permutation",
-        "uniform",
-        "normal",
-        "standard_normal",
-        "poisson",
-        "exponential",
-        "binomial",
-        "beta",
-        "gamma",
-    }
-)
 
 
 @register
@@ -243,4 +200,62 @@ class UnorderedExportRule(Rule):
             )
 
 
-__all__ = ["WallClockRule", "GlobalRandomRule", "UnorderedExportRule"]
+@register
+class UnsortedFsEnumerationRule(Rule):
+    """DET005 — filesystem enumeration must be explicitly ordered."""
+
+    id = "DET005"
+    title = "filesystem enumeration must be wrapped in sorted()"
+    rationale = (
+        "directory order is filesystem- and history-dependent: an "
+        "os.listdir/scandir/walk or Path.iterdir/glob/rglob whose result "
+        "is consumed unsorted makes cache scans, artifact discovery and "
+        "scenario loading depend on inode history — wrap the enumeration "
+        "directly in sorted() so the order is visible at the call site"
+    )
+    severity = Severity.ERROR
+    node_types = (ast.Call,)
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        # subtrees of a sorted(...) call, pre-marked because the shared
+        # walk visits parents before children
+        self._sanctified: set[int] = set()
+
+    def visit(self, ctx: ModuleContext, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "sorted":
+            for sub in ast.walk(node):
+                if sub is not node:
+                    self._sanctified.add(id(sub))
+            return
+        if id(node) in self._sanctified:
+            return
+        name = ctx.canonical(node.func)
+        if name in FS_ENUM_CALLS:
+            ctx.report(
+                self,
+                node,
+                f"unsorted filesystem enumeration `{name}(...)` — wrap in sorted()",
+            )
+            return
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in FS_ENUM_METHODS
+            and (name is None or name not in FS_ENUM_CALLS)
+        ):
+            recv = receiver_tail(node.func) or "<path>"
+            ctx.report(
+                self,
+                node,
+                f"unsorted filesystem enumeration `{recv}.{node.func.attr}(...)` — "
+                "wrap in sorted()",
+            )
+
+
+__all__ = [
+    "WallClockRule",
+    "GlobalRandomRule",
+    "UnorderedExportRule",
+    "UnsortedFsEnumerationRule",
+    "WALL_CLOCK_CALLS",
+    "NUMPY_GLOBAL_RNG",
+]

@@ -12,18 +12,22 @@ findings to non-Python files (e.g. DESIGN.md schema drift).
 from __future__ import annotations
 
 import ast
-import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
+from repro.analysis.astutil import (  # noqa: F401  (re-exported for rules/tests)
+    canonical_name,
+    const_str,
+    dotted_name,
+    import_aliases,
+    parse_suppressions,
+    receiver_tail,
+)
+from repro.analysis.callgraph import CallGraph, CallGraphBuilder
 from repro.analysis.findings import Finding, Severity, sort_findings
 from repro.analysis.registry import Rule, all_rules
 
 DEFAULT_DIRS = ("src", "benchmarks", "examples")
-
-# `# repro-lint: disable=DET001` or `# repro-lint: disable=DET001,TEL001`
-# or `# repro-lint: disable=all` — suppresses matching rules on that line.
-_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
 
 
 @dataclass
@@ -34,74 +38,14 @@ class AnalysisConfig:
     dirs: tuple[str, ...] = DEFAULT_DIRS
     design_path: Path | None = None  # default: <root>/DESIGN.md
     rule_ids: tuple[str, ...] | None = None  # None = every registered rule
+    # Opt-in extra top-level directories (``--include-dirs``, e.g. tests):
+    # scanned like the defaults, and rules without a path_globs scope and
+    # with ``extra_dirs_ok`` apply there even though the dirs are absent
+    # from their declared ``dirs``.
+    extra_dirs: tuple[str, ...] = ()
 
     def resolved_design_path(self) -> Path:
         return self.design_path if self.design_path is not None else self.root / "DESIGN.md"
-
-
-def parse_suppressions(source: str) -> dict[int, set[str]]:
-    """Per-line inline suppression sets (1-based line numbers)."""
-    out: dict[int, set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _SUPPRESS_RE.search(line)
-        if m:
-            out[lineno] = {tok.strip() for tok in m.group(1).split(",") if tok.strip()}
-    return out
-
-
-def import_aliases(tree: ast.Module) -> dict[str, str]:
-    """Local name -> canonical dotted origin, for every import binding.
-
-    ``import numpy as np`` -> ``{"np": "numpy"}``;
-    ``from time import monotonic as mono`` -> ``{"mono": "time.monotonic"}``.
-    """
-    aliases: dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for a in node.names:
-                local = a.asname or a.name.split(".", 1)[0]
-                aliases[local] = a.name if a.asname else a.name.split(".", 1)[0]
-        elif isinstance(node, ast.ImportFrom):
-            mod = ("." * node.level) + (node.module or "")
-            for a in node.names:
-                if a.name == "*":
-                    continue
-                aliases[a.asname or a.name] = f"{mod}.{a.name}" if mod else a.name
-    return aliases
-
-
-def dotted_name(node: ast.AST) -> str | None:
-    """``a.b.c`` for a Name/Attribute chain, else None."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def receiver_tail(func: ast.AST) -> str | None:
-    """For a call ``<recv>.method(...)``: the last component of ``recv``.
-
-    ``env.telemetry.counter`` -> ``"telemetry"``; ``telem.counter`` ->
-    ``"telem"``; anything without a Name/Attribute receiver -> None.
-    """
-    if not isinstance(func, ast.Attribute):
-        return None
-    recv = func.value
-    if isinstance(recv, ast.Attribute):
-        return recv.attr
-    if isinstance(recv, ast.Name):
-        return recv.id
-    return None
-
-
-def const_str(node: ast.AST | None) -> str | None:
-    if isinstance(node, ast.Constant) and isinstance(node.value, str):
-        return node.value
-    return None
 
 
 class ModuleContext:
@@ -118,14 +62,7 @@ class ModuleContext:
     def canonical(self, node: ast.AST) -> str | None:
         """Dotted name of ``node`` with its head import-resolved:
         ``np.random.seed`` -> ``numpy.random.seed``."""
-        name = dotted_name(node)
-        if name is None:
-            return None
-        head, _, rest = name.partition(".")
-        origin = self.imports.get(head)
-        if origin is None:
-            return name
-        return f"{origin}.{rest}" if rest else origin
+        return canonical_name(self.imports, node)
 
     def report(self, rule: Rule, node: ast.AST, message: str, severity: str | None = None) -> None:
         self.project.report(
@@ -147,12 +84,21 @@ class Project:
         self.findings: list[Finding] = []
         self.inline_suppressed = 0
         self.files_scanned = 0
+        # The project-wide call graph (populated after the walk, before
+        # finalize) — the substrate of the interprocedural rules and the
+        # CLI's --call-graph export.
+        self.callgraph: CallGraph | None = None
         # relpath -> per-line suppression sets, so finalize-phase reports
         # honour inline disables at the recorded call sites too.
         self._suppressions: dict[str, dict[int, set[str]]] = {}
 
     def register_suppressions(self, relpath: str, supp: dict[int, set[str]]) -> None:
         self._suppressions[relpath] = supp
+
+    def suppressions_at(self, relpath: str) -> dict[int, set[str]]:
+        """Per-line inline-suppression sets for one scanned file (taint
+        seeds honour a disable at the *source* line, not only the sink)."""
+        return self._suppressions.get(relpath, {})
 
     def report(
         self,
@@ -210,7 +156,7 @@ def iter_python_files(root: Path, dirs: tuple[str, ...]) -> list[Path]:
             continue
         files.extend(
             p
-            for p in base.rglob("*.py")
+            for p in sorted(base.rglob("*.py"))
             if not any(part.startswith(".") for part in p.relative_to(root).parts)
         )
     return sorted(files)
@@ -229,8 +175,10 @@ def run_analysis(config: AnalysisConfig, rules: list[Rule] | None = None) -> Pro
 
     internal = _InternalErrors()
     root = Path(config.root)
+    builder = CallGraphBuilder()
+    extra = tuple(d for d in config.extra_dirs if d not in config.dirs)
 
-    for path in iter_python_files(root, config.dirs):
+    for path in iter_python_files(root, config.dirs + extra):
         relpath = path.relative_to(root).as_posix()
         source = path.read_text(encoding="utf-8")
         try:
@@ -243,8 +191,16 @@ def run_analysis(config: AnalysisConfig, rules: list[Rule] | None = None) -> Pro
         project.files_scanned += 1
         ctx = ModuleContext(project, relpath, tree, source)
         project.register_suppressions(relpath, ctx.suppressions)
+        builder.add_module(ctx)
 
-        active = [r for r in rules if r.applies_to(relpath)]
+        top = relpath.split("/", 1)[0]
+        in_extra = top in extra
+        active = [
+            r
+            for r in rules
+            if r.applies_to(relpath)
+            or (in_extra and r.extra_dirs_ok and r.path_globs is None)
+        ]
         if not active:
             continue
         dispatch: dict[type, list[Rule]] = {}
@@ -258,6 +214,10 @@ def run_analysis(config: AnalysisConfig, rules: list[Rule] | None = None) -> Pro
                     rule.visit(ctx, node)
         for rule in active:
             rule.end_module(ctx)
+
+    # Finish the call graph before finalize so the interprocedural rules
+    # (and the CLI export) see resolved edges.
+    project.callgraph = builder.finish()
 
     for rule in rules:
         rule.finalize(project)

@@ -72,6 +72,7 @@ class InspectPhaseRule(Rule):
     """INS001 — phase-span vocabulary sync across profiler/bundle/docs."""
 
     id = "INS001"
+    extra_dirs_ok = False  # vocabulary sync vs profiling.spans/DESIGN.md
     title = "inspect phase spans stay in sync with profiling and DESIGN.md"
     rationale = (
         "profiling.spans.PHASES (the producer), inspect.bundle.PHASE_SPANS "

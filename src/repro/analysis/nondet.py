@@ -1,0 +1,100 @@
+"""The catalogue of nondeterminism sources, shared by every layer.
+
+Leaf module (no intra-package imports): the per-file determinism rules
+(DET001/DET002/DET005), the interprocedural taint pass (DET004/PUR001)
+and the ``--list-rules`` docs all draw from the same frozen sets, so a
+source added here is picked up by the direct rules *and* the transitive
+flow analysis in one edit.
+"""
+
+from __future__ import annotations
+
+# Canonical dotted names whose *call* reads the wall clock (or stalls on
+# it): any of these in model code couples simulated behaviour to real
+# time and breaks same-seed reproducibility.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "time.sleep",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+# numpy.random module-level functions that draw from (or reseed) the
+# process-global legacy RandomState.  Constructors of independent
+# generators (default_rng, SeedSequence, Generator, PCG64, ...) are the
+# supported path and are deliberately absent.
+NUMPY_GLOBAL_RNG = frozenset(
+    {
+        "seed",
+        "random",
+        "rand",
+        "randn",
+        "randint",
+        "random_sample",
+        "random_integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "poisson",
+        "exponential",
+        "binomial",
+        "beta",
+        "gamma",
+    }
+)
+
+# Module-level functions that enumerate the filesystem in an order the
+# OS does not define (directory order is filesystem- and history-
+# dependent).  Safe only when the result is immediately sorted.
+FS_ENUM_CALLS = frozenset(
+    {
+        "os.listdir",
+        "os.scandir",
+        "os.walk",
+        "glob.glob",
+        "glob.iglob",
+    }
+)
+
+# Method names with the same hazard on pathlib.Path receivers (and
+# anything Path-like).  Matched by attribute name: a ``.glob(...)`` on a
+# non-path receiver in this codebase is still an enumeration.
+FS_ENUM_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+# Builtins whose value depends on the process (CPython heap addresses,
+# PYTHONHASHSEED).  Harmless as in-process dict keys; nondeterministic
+# the moment the value (or an order derived from it) reaches an artifact.
+PROCESS_SENSITIVE_BUILTINS = frozenset({"id", "hash"})
+
+# Human-readable labels for the taint kinds the flow analysis reports.
+TAINT_KINDS = {
+    "wall-clock": "wall-clock read",
+    "global-rng": "process-global RNG draw",
+    "environ": "environment-variable read",
+    "fs-order": "unsorted filesystem enumeration",
+    "process-id": "process-sensitive builtin (id()/hash())",
+}
+
+__all__ = [
+    "FS_ENUM_CALLS",
+    "FS_ENUM_METHODS",
+    "NUMPY_GLOBAL_RNG",
+    "PROCESS_SENSITIVE_BUILTINS",
+    "TAINT_KINDS",
+    "WALL_CLOCK_CALLS",
+]

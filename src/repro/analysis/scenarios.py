@@ -77,6 +77,7 @@ class ScenarioSchemaRule(Rule):
     """SCN001 — scenario vocabulary sync across validator/injector/docs."""
 
     id = "SCN001"
+    extra_dirs_ok = False  # vocabulary sync vs injector/DESIGN.md
     title = "scenario schema stays in sync with the injector and DESIGN.md"
     rationale = (
         "the validator's field tuples, the injector's FAILURE_KINDS and "

@@ -107,6 +107,7 @@ class MetricSchemaRule(Rule):
     """TEL001 — telemetry names match the DESIGN.md metric schema."""
 
     id = "TEL001"
+    extra_dirs_ok = False  # inventory sync vs DESIGN.md: test doubles would poison it
     title = "metric names stay in sync with the DESIGN.md metric schema"
     rationale = (
         "the snapshot/Prometheus exports are consumed by name; an "
@@ -196,6 +197,7 @@ class TraceSchemaRule(Rule):
     """TRC001 — trace kinds match KINDS and the DESIGN.md trace schema."""
 
     id = "TRC001"
+    extra_dirs_ok = False  # inventory sync vs tracer.KINDS/DESIGN.md
     title = "trace kinds stay in sync with tracer.KINDS and DESIGN.md"
     rationale = (
         "KINDS is the authoritative trace vocabulary; an emitted kind "
@@ -355,6 +357,7 @@ class ProfilingSpanKindsRule(Rule):
     """TRC002 — profiling SPAN_KINDS stays a subset of tracer.KINDS."""
 
     id = "TRC002"
+    extra_dirs_ok = False  # inventory sync vs tracer.KINDS
     title = "profiling span kinds exist in the tracer KINDS vocabulary"
     rationale = (
         "the span builder reconstructs timelines by matching event kinds "

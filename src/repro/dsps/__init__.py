@@ -24,6 +24,13 @@ from repro.dsps.hau import HAURuntime, SchemeHooks
 from repro.dsps.application import StreamApplication
 from repro.dsps.runtime import CheckpointScheme, DSPSRuntime, RuntimeConfig
 
+# Opt-in cross-HAU state-isolation guard (REPRO_SAN=1); installed here —
+# after repro.dsps.hau / repro.dsps.operator are fully initialised — to
+# keep the sanitizer import acyclic.
+from repro.sanitize import maybe_install_state_guard as _maybe_install_state_guard
+
+_maybe_install_state_guard()
+
 __all__ = [
     "DataTuple",
     "Token",

@@ -24,6 +24,7 @@ scheme-agnostic.
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
 from typing import Any
 
@@ -36,6 +37,34 @@ from repro.simulation.core import Environment, Interrupt
 from repro.simulation.resources import Gate, Store
 
 DEFAULT_INBOX_CAPACITY = 128
+
+
+def stable_route_hash(key: Any) -> int:
+    """PYTHONHASHSEED-independent routing hash.
+
+    ``hash(str)`` is salted per process, so using it to pick an out-edge
+    would route the same key differently between runs and break the
+    same-seed digest contract.  Numeric hashes are unsalted in CPython,
+    so ints/floats (and tuples of them — CPython's tuple hash combines
+    the already-stable element hashes, and numeric hashes are fixpoints
+    of re-hashing) keep their historical routing and the pinned digests
+    are unchanged; salted types reroute through crc32 of a stable
+    encoding.
+    """
+    if isinstance(key, (int, float)):
+        # unsalted and process-stable for numerics
+        return hash(key)  # repro-lint: disable=DET004,PUR001
+    if isinstance(key, str):
+        return zlib.crc32(key.encode("utf-8"))
+    if isinstance(key, bytes):
+        return zlib.crc32(key)
+    if isinstance(key, tuple):
+        # element hashes stabilised first, then CPython's tuple combiner
+        return hash(tuple(stable_route_hash(e) for e in key))  # repro-lint: disable=DET004,PUR001
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+
 IDLE_SOURCE_POLL = 0.05  # safe-point poll for sources with no pending data
 SOURCE_DELAY_CHUNK = 0.25  # max wait between source safe-points
 
@@ -315,7 +344,7 @@ class HAURuntime:
         if len(group) == 1:
             return group
         if group[0].routing == "hash":
-            idx = hash(emit.key) % len(group) if emit.key is not None else 0
+            idx = stable_route_hash(emit.key) % len(group) if emit.key is not None else 0
             return [group[idx]]
         return group  # broadcast
 

@@ -166,10 +166,16 @@ def environment_fingerprint() -> dict[str, str]:
     }
 
 
-def compute_baseline() -> dict[str, Any]:
-    """Run every canonical case and collect its digest."""
+def compute_baseline(cases: list[str] | None = None) -> dict[str, Any]:
+    """Run every canonical case (or the named subset) and collect digests."""
+    selected = canonical_cases()
+    if cases is not None:
+        unknown = sorted(set(cases) - set(selected))
+        if unknown:
+            raise KeyError(f"unknown canonical case(s): {', '.join(unknown)}")
+        selected = {k: v for k, v in selected.items() if k in set(cases)}
     digests = {}
-    for name, (cfg, kwargs) in canonical_cases().items():
+    for name, (cfg, kwargs) in selected.items():
         digests[name] = result_digest(run_experiment(cfg, **kwargs))
     return {
         "environment": environment_fingerprint(),
@@ -180,7 +186,9 @@ def compute_baseline() -> dict[str, Any]:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI: ``check`` (default) compares against the committed baseline;
-    ``--write <path>`` regenerates it (after an intentional model change)."""
+    ``--write <path>`` regenerates it (after an intentional model change);
+    ``--json`` prints the current digests without comparing (the
+    iteration-order canary diffs this output across PYTHONHASHSEED)."""
     import argparse
     from pathlib import Path
 
@@ -193,9 +201,26 @@ def main(argv: list[str] | None = None) -> int:
         "--write", action="store_true",
         help="regenerate the baseline file instead of checking against it",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the freshly computed digests as JSON and exit (no "
+        "baseline comparison)",
+    )
+    parser.add_argument(
+        "--cases", default=None, metavar="NAMES",
+        help="comma-separated subset of canonical case names to run",
+    )
     args = parser.parse_args(argv)
 
-    current = compute_baseline()
+    case_filter = [c for c in args.cases.split(",") if c] if args.cases else None
+    try:
+        current = compute_baseline(case_filter)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(current, indent=2, sort_keys=True))
+        return 0
     if args.write:
         with open(args.baseline, "w", encoding="utf-8") as fh:
             json.dump(current, fh, indent=2, sort_keys=True)
@@ -213,7 +238,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
     failures = 0
-    for name in sorted(baseline["digests"]):
+    compare = sorted(baseline["digests"])
+    if case_filter is not None:
+        compare = [n for n in compare if n in set(case_filter)]
+    for name in compare:
         want = baseline["digests"][name]
         got = current["digests"].get(name)
         status = "ok" if got == want else "MISMATCH"
@@ -223,7 +251,7 @@ def main(argv: list[str] | None = None) -> int:
     if failures:
         print(f"FAIL: {failures} digest mismatch(es) — event order or model behaviour changed")
         return 1
-    print(f"OK: {len(baseline['digests'])} digests bit-identical to baseline")
+    print(f"OK: {len(compare)} digests bit-identical to baseline")
     return 0
 
 

@@ -1,0 +1,8 @@
+"""``python -m repro.sanitize`` — the iteration-order canary."""
+
+import sys
+
+from repro.sanitize.canary import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,235 @@
+"""Kernel sanitizers: free-list poisoning + clock/heap-order assertions.
+
+The kernel recycles hot-path events through per-environment free lists,
+guarded by a refcount-2 check in ``Environment.step`` (only the step
+frame and ``getrefcount`` itself hold the object, so reuse is supposed
+to be invisible).  That guard is sound for CPython refcounting but
+*assumes* no C-level cache, debugger hook, or future refactor keeps an
+untracked reference.  Under ``REPRO_SAN=1`` this module replaces the
+four pool-touching entry points (``step`` / ``event`` / ``timeout`` /
+``acquire``) with copies that additionally:
+
+* swap a recycled event's ``__class__`` for a generated *poisoned* twin
+  (same slot layout, every entry point raises
+  :class:`~repro.sanitize.SanitizerError`) while it sits in the pool,
+  and swap it back the moment a factory re-issues it — so pooling
+  behaviour, pool counters and event identity stay bit-identical while
+  any use-after-recycle detonates at the offending line;
+* assert the simulation clock never moves backwards and that heap pops
+  respect the ``(time, priority, seq)`` total order the determinism
+  digests rest on.
+
+The originals are kept for :func:`uninstall` (test support).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from heapq import heappop, heappush
+from typing import Any
+
+from sys import getrefcount
+
+from repro.sanitize import SanitizerError
+
+# Bound by install(): importing repro.simulation.core at module top
+# would re-enter the partially-initialised package when REPRO_SAN=1
+# triggers installation from repro.simulation's own __init__.
+_core: Any = None
+
+# -- poisoned twins ------------------------------------------------------------
+
+#: original class -> generated poisoned subclass
+_POISONED: dict[type, type] = {}
+#: the reverse set, for the heap defence check in the sanitized step
+_POISON_CLASSES: set[type] = set()
+
+_BLOCKED_METHODS = ("succeed", "fail", "add_callback", "_recycle")
+_BLOCKED_PROPS = ("triggered", "ok", "value")
+
+
+def poisoned_class(cls: type) -> type:
+    """The poisoned twin of a pooled event class (generated once).
+
+    ``__slots__ = ()`` keeps the memory layout identical, so
+    ``__class__`` assignment in both directions is legal and free.
+    """
+    twin = _POISONED.get(cls)
+    if twin is not None:
+        return twin
+
+    def _raiser(name: str):
+        def raise_use_after_recycle(self, *args: Any, **kwargs: Any):
+            raise SanitizerError(
+                f"use-after-recycle: `{name}` touched on a pooled "
+                f"{cls.__name__} — a reference to this event survived its "
+                "recycle into the environment free list (the refcount-2 "
+                "guard in Environment.step was defeated)"
+            )
+
+        raise_use_after_recycle.__name__ = name
+        return raise_use_after_recycle
+
+    ns: dict[str, Any] = {"__slots__": ()}
+    for name in _BLOCKED_METHODS:
+        if hasattr(cls, name):
+            ns[name] = _raiser(name)
+    for name in _BLOCKED_PROPS:
+        if hasattr(cls, name):
+            ns[name] = property(_raiser(name))
+    ns["__repr__"] = lambda self: f"<poisoned pooled {cls.__name__}>"
+    twin = type(f"_Poisoned{cls.__name__}", (cls,), ns)
+    _POISONED[cls] = twin
+    _POISON_CLASSES.add(twin)
+    return twin
+
+
+# -- heap total-order tracking -------------------------------------------------
+
+# Environment has __slots__ (and no __weakref__), so per-environment
+# sanitizer state lives here, keyed by id().  Entries hold the
+# environment strongly to rule out id reuse; the cap bounds the leak to
+# the most recently stepped environments (an evicted env just loses one
+# comparison on its next pop).
+_ORDER_CAP = 64
+_order_state: "OrderedDict[int, tuple[Any, tuple[float, int, int]]]" = OrderedDict()
+
+
+def _check_order(env: Any, key: tuple[float, int, int]) -> None:
+    k = id(env)
+    entry = _order_state.get(k)
+    if entry is not None and entry[0] is env and key < entry[1]:
+        raise SanitizerError(
+            f"heap total order violated: popped {key} after {entry[1]} — "
+            "the (time, priority, seq) ordering the determinism digests "
+            "rest on no longer holds"
+        )
+    _order_state[k] = (env, key)
+    _order_state.move_to_end(k)
+    while len(_order_state) > _ORDER_CAP:
+        _order_state.popitem(last=False)
+
+
+# -- sanitized entry points ----------------------------------------------------
+# Each is a line-for-line copy of the original (simulation/core.py) plus
+# the poison/assert additions; pool counters, heap entries and sequence
+# numbers are touched identically so sanitized runs stay digest-clean.
+
+
+def _san_step(self) -> None:
+    heap = self._heap
+    if not heap:
+        raise _core.SimulationError("step() on empty schedule")
+    when, prio, seq, event = heappop(heap)
+    now = self._now
+    if when < now - 1e-12:
+        raise SanitizerError(
+            f"simulation clock moved backwards: popped t={when!r} at now={now!r}"
+        )
+    _check_order(self, (when, prio, seq))
+    if when > now:
+        self._now = when
+    self.events_popped += 1
+    cls = event.__class__
+    if cls is _core._Kick:
+        event.fire()
+        return
+    if cls in _POISON_CLASSES:
+        raise SanitizerError(
+            f"poisoned event popped from the heap: {event!r} was scheduled "
+            "after being recycled into a free list"
+        )
+    event._flushed = True
+    callbacks = event.callbacks
+    if callbacks is not None:
+        event.callbacks = None
+        for cb in callbacks:
+            cb(event)
+    if getrefcount(event) == 2:
+        pool = self._pools.get(cls)
+        if pool is not None and len(pool) < _core._POOL_LIMIT:
+            event._recycle()
+            event.__class__ = poisoned_class(cls)
+            pool.append(event)
+
+
+def _san_event(self, name: str = ""):
+    pool = self._pools[_core.Event]
+    if pool:
+        self.pool_hits += 1
+        ev = pool.pop()
+        ev.__class__ = _core.Event
+        ev.name = name
+        return ev
+    self.pool_misses += 1
+    return _core.Event(self, name=name)
+
+
+def _san_timeout(self, delay: float, value: Any = None):
+    pool = self._pools[_core.Timeout]
+    if pool:
+        if delay < 0:
+            raise _core.SimulationError(f"negative timeout delay {delay!r}")
+        self.pool_hits += 1
+        t = pool.pop()
+        t.__class__ = _core.Timeout
+        t.delay = delay
+        t._value = value
+        t._flushed = False
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self._now + delay, _core.NORMAL, seq, t))
+        return t
+    self.pool_misses += 1
+    return _core.Timeout(self, delay, value)
+
+
+def _san_acquire(self, cls: type):
+    pool = self._pools.get(cls)
+    if pool:
+        self.pool_hits += 1
+        ev = pool.pop()
+        ev.__class__ = cls
+        return ev
+    self.pool_misses += 1
+    return None
+
+
+_PATCHES = {
+    "step": _san_step,
+    "event": _san_event,
+    "timeout": _san_timeout,
+    "acquire": _san_acquire,
+}
+_originals: dict[str, Any] = {}
+
+
+def installed() -> bool:
+    return bool(_originals)
+
+
+def install() -> None:
+    """Swap the kernel entry points for the sanitized copies (idempotent)."""
+    global _core
+    if _originals:
+        return
+    from repro.simulation import core
+
+    _core = core
+    for name, fn in _PATCHES.items():
+        _originals[name] = getattr(_core.Environment, name)
+        setattr(_core.Environment, name, fn)
+
+
+def uninstall() -> None:
+    """Restore the original kernel entry points (test support).
+
+    Events still poisoned inside live pools are healed by clearing the
+    pools would be wrong (counters); instead they heal lazily — the
+    original factories never see them because pools drain through the
+    same ``pool.pop()`` path, so tests should discard sanitized
+    environments after uninstalling.
+    """
+    for name, fn in _originals.items():
+        setattr(_core.Environment, name, fn)
+    _originals.clear()
+    _order_state.clear()

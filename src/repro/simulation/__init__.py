@@ -30,6 +30,12 @@ from repro.simulation.core import (
 from repro.simulation.resources import Resource, Store, PriorityStore
 from repro.simulation.rng import RngRegistry
 
+# Opt-in runtime sanitizers (REPRO_SAN=1): installed once at import time
+# so the per-event hot path carries no enablement branch when off.
+from repro.sanitize import maybe_install_kernel as _maybe_install_kernel
+
+_maybe_install_kernel()
+
 __all__ = [
     "Environment",
     "Event",

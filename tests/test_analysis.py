@@ -953,12 +953,14 @@ def test_cli_json_report_schema(tmp_path, capsys):
         "version",
         "strict",
         "dirs",
+        "extra_dirs",
         "files_scanned",
         "rules",
         "findings",
         "counts",
         "suppressed_baseline",
         "suppressed_inline",
+        "stale_baseline",
     }
     assert doc["counts"] == {"DET001": 1}
     (finding,) = doc["findings"]
@@ -1026,6 +1028,113 @@ def test_list_rules_text_contains_rationale_and_suppress_hint():
 
 def test_cli_bad_flag_returns_two(capsys):
     assert main(["--no-such-flag"]) == 2
+
+
+def test_cli_include_dirs_extends_scope(tmp_path, capsys):
+    write_repo(
+        tmp_path,
+        {
+            "src/m.py": "def f():\n    return 1\n",
+            "tests/t.py": """\
+            import os
+
+            def helper(path):
+                return os.listdir(path)
+            """,
+        },
+    )
+    # default scope: tests/ invisible
+    assert main(["--root", str(tmp_path)]) == 0
+    capsys.readouterr()
+    # opted in: the DET005 in tests/ fires
+    assert main(["--root", str(tmp_path), "--include-dirs", "tests"]) == 1
+    out = capsys.readouterr().out
+    assert "tests/t.py" in out and "DET005" in out
+
+
+def test_cli_include_dirs_skips_inventory_rules(tmp_path, capsys):
+    # TEL001-style inventory rules don't apply to opted-in extra dirs:
+    # telemetry in a test helper needs no DESIGN.md registration.
+    write_repo(
+        tmp_path,
+        {
+            "src/m.py": "def f():\n    return 1\n",
+            "tests/t.py": 'def probe(env):\n    env.telemetry.counter("ms_x_total").inc()\n',
+        },
+    )
+    assert main(["--root", str(tmp_path), "--include-dirs", "tests", "--strict"]) == 0
+
+
+def test_cli_github_format(tmp_path, capsys):
+    write_repo(tmp_path, violation_files())
+    assert main(["--root", str(tmp_path), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=src/m.py,line=4," in out
+    assert "title=DET001::" in out
+
+
+def test_cli_call_graph_export(tmp_path, capsys):
+    write_repo(
+        tmp_path,
+        {
+            "src/m.py": """\
+            def helper():
+                return 1
+
+            def entry():
+                return helper()
+            """
+        },
+    )
+    graph_json = tmp_path / "graph.json"
+    assert main(["--root", str(tmp_path), "--call-graph", str(graph_json)]) == 0
+    doc = json.loads(graph_json.read_text())
+    assert doc["version"] == 1
+    assert {fn["qualname"] for fn in doc["functions"]} == {"m.helper", "m.entry"}
+    graph_dot = tmp_path / "graph.dot"
+    assert main(["--root", str(tmp_path), "--call-graph", str(graph_dot)]) == 0
+    assert graph_dot.read_text().startswith("digraph callgraph {")
+
+
+def test_cli_stale_baseline_lifecycle(tmp_path, capsys):
+    write_repo(tmp_path, violation_files())
+    baseline = tmp_path / "baseline.json"
+    assert main(["--root", str(tmp_path), "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+
+    # fix the violation: the baselined fingerprint goes stale
+    write_repo(tmp_path, {"src/m.py": "def f():\n    return 1\n"})
+    assert main(["--root", str(tmp_path), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "stale baseline" in out
+
+    assert (
+        main(["--root", str(tmp_path), "--baseline", str(baseline), "--format", "json"])
+        == 0
+    )
+    doc = json.loads(capsys.readouterr().out)
+    (entry,) = doc["stale_baseline"]
+    assert entry["rule"] == "DET001"
+    assert entry["unused_count"] == 1
+
+    # rewriting the baseline prunes the stale fingerprint (the old
+    # baseline must be loaded for the prune count to be known)
+    assert (
+        main(
+            [
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+                str(baseline),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "1 stale fingerprint(s) pruned" in out
+    assert json.loads(baseline.read_text())["suppressions"] == {}
 
 
 # ---------------------------------------------------------------------------

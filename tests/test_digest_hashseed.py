@@ -1,0 +1,32 @@
+"""Iteration-order canary: digests must not depend on PYTHONHASHSEED.
+
+Runs the digest harness in two subprocesses with different hash seeds
+and compares the per-case digests bit-for-bit.  Any dict/set iteration
+order leaking into routing, scheduling or serialisation shows up here
+before it shows up as an unexplainable baseline break on another
+machine.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.sanitize.canary import DEFAULT_SEEDS, _digest_once, run_canary
+
+CASE = "tmi/baseline@2"
+
+
+def test_digests_identical_across_hashseeds(capsys):
+    rc = run_canary(cases=[CASE], seeds=DEFAULT_SEEDS)
+    out = capsys.readouterr().out
+    assert rc == 0, f"digest depends on PYTHONHASHSEED:\n{out}"
+    assert "OK" in out
+
+
+def test_digest_once_shape():
+    doc = _digest_once(hashseed=0, cases=[CASE])
+    assert set(doc["digests"]) == {CASE}
+    # a digest is a hex string, stable enough to diff across seeds
+    digest = doc["digests"][CASE]
+    assert isinstance(digest, str) and len(digest) >= 16
+    json.dumps(doc)  # canary output stays JSON-serialisable

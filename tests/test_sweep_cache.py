@@ -55,7 +55,7 @@ def test_cold_then_warm_run_hits_100_percent(tmp_path):
 
 def test_cache_files_are_canonical_json(tmp_path):
     run_cells(specs_pair()[:1], jobs=1, cache_dir=tmp_path)
-    files = list(tmp_path.glob("*.json"))
+    files = sorted(tmp_path.glob("*.json"))
     assert len(files) == 1
     text = files[0].read_text()
     payload = json.loads(text)
@@ -85,13 +85,13 @@ def test_code_fingerprint_invalidates_cache(tmp_path, monkeypatch):
     stats = SweepStats()
     run_cells(specs_pair()[:1], jobs=1, cache_dir=tmp_path, stats=stats)
     assert stats.cache_misses == 1, "a code-version change must invalidate every entry"
-    assert len(list(tmp_path.glob("*.json"))) == 2  # old entry + new entry
+    assert len(sorted(tmp_path.glob("*.json"))) == 2  # old entry + new entry
 
 
 def test_use_cache_false_never_touches_disk(tmp_path):
     stats = SweepStats()
     run_cells(specs_pair()[:1], jobs=1, cache_dir=tmp_path, use_cache=False, stats=stats)
-    assert not list(tmp_path.glob("*.json"))
+    assert not sorted(tmp_path.glob("*.json"))
     assert stats.cache_hits == 0 and stats.cache_misses == 0
     assert stats.executed == 1
 
@@ -99,7 +99,7 @@ def test_use_cache_false_never_touches_disk(tmp_path):
 def test_clear_cache(tmp_path):
     run_cells(specs_pair(), jobs=1, cache_dir=tmp_path)
     assert clear_cache(tmp_path) == 2
-    assert not list(tmp_path.glob("*.json"))
+    assert not sorted(tmp_path.glob("*.json"))
     assert clear_cache(tmp_path) == 0  # idempotent
 
 
@@ -141,7 +141,7 @@ def test_cached_oracle_times_memoises(tmp_path):
     cfg = small_config(scheme="ms-src+ap", n=2)
     first = cached_oracle_times(cfg, cache_dir=tmp_path)
     assert first and all(isinstance(t, float) for t in first)
-    assert len(list(tmp_path.glob("*.json"))) == 1
+    assert len(sorted(tmp_path.glob("*.json"))) == 1
     second = cached_oracle_times(cfg, cache_dir=tmp_path)
     assert second == first
     assert cached_oracle_times(cfg, use_cache=False) == first
@@ -166,7 +166,7 @@ def test_default_cache_dir_env_override(tmp_path, monkeypatch):
 def test_cache_cli_clear(tmp_path, capsys):
     run_cells(specs_pair()[:1], jobs=1, cache_dir=tmp_path)
     assert sweep.main(["--clear", "--cache-dir", str(tmp_path)]) == 0
-    assert not list(tmp_path.glob("*.json"))
+    assert not sorted(tmp_path.glob("*.json"))
     out = capsys.readouterr().out
     assert "1" in out
 

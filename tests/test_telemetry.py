@@ -4,7 +4,7 @@ sampling, deterministic JSON snapshots, Prometheus export, and the
 report CLI."""
 
 import json
-import random
+import random  # repro-lint: disable=DET002 — seeded local Random instances only, no global state
 
 import pytest
 
