@@ -1,0 +1,162 @@
+"""Kernel scaling: events/sec at 100/1k/10k HAUs x scheduler x batching.
+
+One synthetic aligned-chain app (S -> W -> A -> K, equal replicas) is
+run at three sizes under every {heap, calendar} x {unbatched, batched}
+combination, timing the ``env.run`` phase only (graph construction is
+the same work in every mode and would dilute the ratios).  Recorded
+per cell: wall seconds, kernel events popped, tuples processed, and
+the derived events/sec + tuples/sec rates.
+
+Hard assertions are determinism facts: the same tuples drain in every
+mode at a given size, the two schedulers pop identical event counts
+for the same configuration, and batching strictly reduces the kernel
+event count.  The *rates* are host-dependent and therefore gated
+warn-only by ``check_regression.py --scaling`` against the committed
+``benchmarks/BENCH_scaling_baseline.json`` — including the headline
+claim that batched mode sustains >= 3x the unbatched tuple throughput
+at the 10k-HAU point.
+"""
+
+import gc
+import os
+import time
+
+from repro.apps.synth import build
+from repro.cluster.topology import ClusterSpec
+from repro.dsps.runtime import CheckpointScheme, DSPSRuntime, RuntimeConfig
+from repro.simulation.core import Environment
+
+SIZES = (100, 1_000, 10_000)  # total HAUs (4 stages x replicas)
+SCHEDULERS = ("heap", "calendar")
+QUANTA = (0.0, 0.25)
+WINDOW = 1.25  # covers the 0.12 s burst plus three quantum-deep flush waves
+
+# repeat cheap cells to shed scheduler noise; the 10k cells run once
+ROUNDS = {100: 3, 1_000: 2, 10_000: 1}
+
+
+def _topology(replicas: int) -> dict:
+    return {
+        "stages": [
+            {"name": "S", "kind": "source", "replicas": replicas,
+             "count": 24, "interval": 0.005, "size": 4096},
+            {"name": "W", "kind": "map", "replicas": replicas, "size": 4096},
+            {"name": "A", "kind": "map", "replicas": replicas, "size": 4096},
+            {"name": "K", "kind": "sink", "replicas": replicas},
+        ],
+        "edges": [
+            {"src": "S", "dst": "W", "pairing": "aligned"},
+            {"src": "W", "dst": "A", "pairing": "aligned"},
+            {"src": "A", "dst": "K", "pairing": "aligned"},
+        ],
+    }
+
+
+def _run_cell(haus: int, scheduler: str, quantum: float) -> dict:
+    replicas = haus // 4
+    best_wall = float("inf")
+    popped = set()
+    tuples = 0
+    build_wall = 0.0
+    for _ in range(ROUNDS[haus]):
+        t0 = time.perf_counter()  # repro-lint: disable=DET001 (host timing, not simulated)
+        env = Environment(scheduler=scheduler)
+        app = build(seed=1, topology=_topology(replicas))
+        rt = DSPSRuntime(
+            env,
+            app,
+            CheckpointScheme(),
+            RuntimeConfig(
+                seed=1,
+                cluster=ClusterSpec(workers=max(4, replicas // 4), spares=2, racks=4),
+                channel_capacity=16,
+                inbox_capacity=32,
+                batch_quantum=quantum,
+            ),
+        )
+        rt.start()
+        # the timed region measures the kernel, not the allocator: collect
+        # construction garbage now and keep the collector out of the loop
+        gc.collect()
+        gc.freeze()
+        gc.disable()
+        t1 = time.perf_counter()  # repro-lint: disable=DET001 (host timing, not simulated)
+        env.run(until=WINDOW)
+        wall = time.perf_counter() - t1  # repro-lint: disable=DET001 (host timing, not simulated)
+        gc.enable()
+        gc.unfreeze()
+        popped.add(env.events_popped)
+        tuples = sum(h.tuples_processed for h in rt.haus.values())
+        if wall < best_wall:
+            best_wall = wall
+            build_wall = t1 - t0
+    assert len(popped) == 1, f"events_popped varied across identical runs: {popped}"
+    n_popped = popped.pop()
+    return {
+        "haus": haus,
+        "scheduler": scheduler,
+        "batch_quantum": quantum,
+        "wall_seconds": best_wall,
+        "build_seconds": build_wall,
+        "events_popped": n_popped,
+        "tuples": tuples,
+        "events_per_sec": n_popped / best_wall,
+        "tuples_per_sec": tuples / best_wall,
+    }
+
+
+def test_kernel_scaling(write_artifact):
+    cells = [
+        _run_cell(haus, scheduler, quantum)
+        for haus in SIZES
+        for scheduler in SCHEDULERS
+        for quantum in QUANTA
+    ]
+    by_key = {(c["haus"], c["scheduler"], c["batch_quantum"]): c for c in cells}
+
+    speedups = []
+    for haus in SIZES:
+        # the drained workload is a model fact: identical across every mode
+        drained = {c["tuples"] for c in cells if c["haus"] == haus}
+        assert len(drained) == 1, f"{haus} HAUs: tuple drain varied: {drained}"
+        assert drained.pop() == 3 * 24 * (haus // 4)  # W + A + K, full drain
+        for quantum in QUANTA:
+            # scheduler equivalence: same event count, only its cost differs
+            heap_c = by_key[(haus, "heap", quantum)]
+            cal_c = by_key[(haus, "calendar", quantum)]
+            assert heap_c["events_popped"] == cal_c["events_popped"], (
+                f"{haus} HAUs q={quantum}: calendar popped "
+                f"{cal_c['events_popped']} vs heap {heap_c['events_popped']}"
+            )
+        for scheduler in SCHEDULERS:
+            unb = by_key[(haus, scheduler, 0.0)]
+            bat = by_key[(haus, scheduler, QUANTA[1])]
+            assert bat["events_popped"] < unb["events_popped"]
+            speedups.append({
+                "haus": haus,
+                "scheduler": scheduler,
+                "batched_speedup": bat["tuples_per_sec"] / unb["tuples_per_sec"],
+                "event_reduction": unb["events_popped"] / bat["events_popped"],
+            })
+
+    header = f"{'haus':>6} {'sched':>8} {'quantum':>7} {'wall':>7} {'popped':>9} {'ev/s':>10} {'tup/s':>9}"
+    lines = [header]
+    for c in cells:
+        lines.append(
+            f"{c['haus']:>6} {c['scheduler']:>8} {c['batch_quantum']:>7.2f} "
+            f"{c['wall_seconds']:>6.2f}s {c['events_popped']:>9} "
+            f"{c['events_per_sec']:>10,.0f} {c['tuples_per_sec']:>9,.0f}"
+        )
+    for s in speedups:
+        lines.append(
+            f"  {s['haus']} HAUs / {s['scheduler']}: batched {s['batched_speedup']:.2f}x "
+            f"tuple throughput, {s['event_reduction']:.2f}x fewer kernel events"
+        )
+    print("\n" + "\n".join(lines))
+
+    write_artifact("BENCH_kernel_scaling.json", {
+        "mode": "full" if os.environ.get("REPRO_FULL") else "fast",
+        "window_seconds": WINDOW,
+        "cells": cells,
+        "speedups": speedups,
+    })

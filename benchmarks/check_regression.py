@@ -33,6 +33,17 @@ quantity is deterministic, but it measures the *checkpoint wave's*
 shape rather than the paper's headline throughput/latency, so it warns
 rather than fails while the profiler is young.
 
+A fifth, **warn-only**, gate covers the kernel scaling benchmark
+(``BENCH_kernel_scaling.json``, written by ``bench_kernel_scaling.py``)
+against the committed ``benchmarks/BENCH_scaling_baseline.json``.  It
+watches the largest (10k-HAU) point: the batched-over-unbatched tuple
+throughput ratio falling below ``--scaling-speedup-floor`` (default
+3.0), any cell's ``tuples_per_sec`` dropping beyond
+``--wall-tolerance``, and per-cell ``events_popped`` drift.  All of it
+warns rather than fails: the rates are host timing, and the batched
+event count is not digest-pinned — an intentional batched-path
+optimisation legitimately changes it.
+
 Usage::
 
     python benchmarks/check_regression.py artifacts/BENCH_headline.json \
@@ -269,6 +280,76 @@ def compare_kernel(
     return failures, warnings
 
 
+def compare_scaling(
+    scaling: dict,
+    baseline_scaling: dict,
+    wall_tolerance: float,
+    speedup_floor: float,
+) -> list[str]:
+    """Warn-only verdicts for the kernel scaling benchmark.
+
+    The headline claim rides on the largest size present in both
+    reports (the 10k-HAU point in the committed baseline): batched mode
+    must sustain ``speedup_floor`` times the unbatched tuple throughput
+    there.  Per-cell rate drops and ``events_popped`` drift also warn —
+    nothing in this gate can change the exit status.
+    """
+    warnings: list[str] = []
+    if scaling.get("mode") != baseline_scaling.get("mode"):
+        warnings.append(
+            f"scaling: mode mismatch (current={scaling.get('mode')!r} "
+            f"baseline={baseline_scaling.get('mode')!r}), comparison skipped"
+        )
+        return warnings
+
+    def by_key(report: dict) -> dict[tuple, dict]:
+        return {
+            (c["haus"], c["scheduler"], c["batch_quantum"]): c
+            for c in report.get("cells", [])
+        }
+
+    cur, base = by_key(scaling), by_key(baseline_scaling)
+    for key in sorted(base, key=str):
+        haus, scheduler, quantum = key
+        b, c = base[key], cur.get(key)
+        if c is None:
+            warnings.append(
+                f"scaling: {haus}/{scheduler}/q={quantum} missing from current "
+                "report (warn-only)"
+            )
+            continue
+        if b.get("events_popped") != c.get("events_popped"):
+            warnings.append(
+                f"scaling: {haus}/{scheduler}/q={quantum} events_popped "
+                f"{c.get('events_popped')} vs baseline {b.get('events_popped')} "
+                "(warn-only: batched event counts are not digest-pinned)"
+            )
+        b_rate, c_rate = b.get("tuples_per_sec"), c.get("tuples_per_sec")
+        if b_rate and c_rate is not None:
+            delta = c_rate / b_rate - 1.0
+            if delta < -wall_tolerance:
+                warnings.append(
+                    f"scaling: {haus}/{scheduler}/q={quantum} tuples_per_sec "
+                    f"{c_rate:,.0f} vs baseline {b_rate:,.0f} ({delta:+.1%}), "
+                    f"beyond --wall-tolerance {wall_tolerance:.0%} (warn-only)"
+                )
+
+    gated = [s for s in scaling.get("speedups", []) if s.get("haus") in
+             {c["haus"] for c in baseline_scaling.get("cells", [])}]
+    if gated:
+        top = max(s["haus"] for s in gated)
+        for s in (s for s in gated if s["haus"] == top):
+            if s["batched_speedup"] < speedup_floor:
+                warnings.append(
+                    f"scaling: {top} HAUs / {s['scheduler']} batched speedup "
+                    f"{s['batched_speedup']:.2f}x below --scaling-speedup-floor "
+                    f"{speedup_floor:g}x (warn-only)"
+                )
+    else:
+        warnings.append("scaling: current report has no speedups to gate (warn-only)")
+    return warnings
+
+
 def _inspect_modules():
     """Lazily import repro.inspect (with a src/ fallback for bare checkouts).
 
@@ -339,6 +420,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--critical-path-tolerance", type=float, default=0.25,
                         help="warn-only threshold for per-cell checkpoint "
                              "critical-path growth (default 0.25)")
+    parser.add_argument("--scaling", default=None,
+                        help="BENCH_kernel_scaling.json to check "
+                             "(default: sibling of current)")
+    parser.add_argument("--scaling-baseline",
+                        default=str(DEFAULT_BASELINE.parent / "BENCH_scaling_baseline.json"),
+                        help="committed scaling baseline "
+                             "(default: benchmarks/BENCH_scaling_baseline.json)")
+    parser.add_argument("--scaling-speedup-floor", type=float, default=3.0,
+                        help="warn-only floor for the largest-size batched "
+                             "tuple-throughput speedup (default 3.0)")
     parser.add_argument("--bundle", default=None,
                         help="candidate RunBundle directory for attributed "
                              "explanations (default: BUNDLE_headline next to current)")
@@ -386,6 +477,26 @@ def main(argv: list[str] | None = None) -> int:
         notes.extend(kernel_warnings)
     elif baseline_kernel:
         notes.append(f"kernel: no {kernel_path}, kernel gate skipped")
+
+    # kernel scaling benchmark (entirely warn-only; see module docstring)
+    scaling_path = args.scaling or str(
+        Path(args.current).parent / "BENCH_kernel_scaling.json"
+    )
+    if Path(args.scaling_baseline).is_file() and Path(scaling_path).is_file():
+        try:
+            with open(scaling_path, encoding="utf-8") as fh:
+                scaling = json.load(fh)
+            with open(args.scaling_baseline, encoding="utf-8") as fh:
+                baseline_scaling = json.load(fh)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_BAD_INVOCATION
+        notes.extend(compare_scaling(
+            scaling, baseline_scaling, args.wall_tolerance,
+            args.scaling_speedup_floor,
+        ))
+    elif Path(args.scaling_baseline).is_file():
+        notes.append(f"scaling: no {scaling_path}, scaling gate skipped")
     print(f"regression check: {len(cell_throughput(baseline))} baseline cells, "
           f"throughput tolerance {args.tolerance:.0%}, "
           f"latency tolerance {args.latency_tolerance:.0%}")

@@ -127,10 +127,21 @@ class DataCenter:
 
     # -- channels ----------------------------------------------------------------
     def connect(
-        self, src: Node, dst: Node, name: str = "", capacity: float = float("inf")
+        self,
+        src: Node,
+        dst: Node,
+        name: str = "",
+        capacity: float = float("inf"),
+        batch_quantum: float = 0.0,
     ) -> Channel:
         chan = Channel(
-            self.env, src, dst, latency=self.spec.latency, name=name, capacity=capacity
+            self.env,
+            src,
+            dst,
+            latency=self.spec.latency,
+            name=name,
+            capacity=capacity,
+            batch_quantum=batch_quantum,
         )
         self._channels.append(chan)
         return chan

@@ -46,9 +46,11 @@ class EdgeSpec:
     dst_port: int = 0
     routing: str = "broadcast"  # "broadcast" | "hash" — for fan-out groups
 
-    @property
-    def edge_id(self) -> str:
-        return f"{self.src}[{self.src_port}]->{self.dst}[{self.dst_port}]"
+    def __post_init__(self) -> None:
+        # Precomputed: edge_id is read on every emission (per-edge output
+        # sequence numbers, channel lookup), so a property that rebuilds
+        # the string each time shows up in kernel profiles.
+        self.edge_id = f"{self.src}[{self.src_port}]->{self.dst}[{self.dst_port}]"
 
 
 class QueryGraph:

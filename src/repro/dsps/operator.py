@@ -25,7 +25,7 @@ from repro.dsps.tuples import DataTuple
 from repro.state.spec import StateHint, estimate_state_size
 
 
-@dataclass
+@dataclass(slots=True)
 class Emit:
     """One output produced by processing a tuple."""
 

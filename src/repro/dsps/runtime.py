@@ -36,6 +36,10 @@ class RuntimeConfig:
     cluster: ClusterSpec | None = None
     channel_capacity: int = DEFAULT_CHANNEL_CAPACITY
     inbox_capacity: int = DEFAULT_INBOX_CAPACITY
+    # Coalesce same-edge tuples for this many simulated seconds into one
+    # BatchEnvelope per data channel (0.0 = per-tuple sends, the
+    # digest-pinned default).  Control channels never batch.
+    batch_quantum: float = 0.0
 
 
 class CheckpointScheme(SchemeHooks):
@@ -121,6 +125,7 @@ class DSPSRuntime:
             metrics=self.metrics,
             inbox_capacity=self.config.inbox_capacity,
             restored=restored,
+            batched=self.config.batch_quantum > 0.0,
         )
         self.haus[hau_id] = hau
         return hau
@@ -134,6 +139,7 @@ class DSPSRuntime:
                 dst_hau.node,
                 name=edge.edge_id,
                 capacity=self.config.channel_capacity,
+                batch_quantum=self.config.batch_quantum,
             )
             self.data_channels[edge.edge_id] = chan
             src_hau.attach_out_channel(edge, chan)
@@ -264,7 +270,11 @@ class DSPSRuntime:
         for edge in graph.in_edges(hau_id):
             src_hau = self.haus[edge.src]
             chan = self.dc.connect(
-                src_hau.node, node, name=edge.edge_id, capacity=self.config.channel_capacity
+                src_hau.node,
+                node,
+                name=edge.edge_id,
+                capacity=self.config.channel_capacity,
+                batch_quantum=self.config.batch_quantum,
             )
             self.data_channels[edge.edge_id] = chan
             if attach_upstream:
@@ -279,7 +289,11 @@ class DSPSRuntime:
                 # (or its unrecoverability) will deal with this edge.
                 continue
             chan = self.dc.connect(
-                node, dst_hau.node, name=edge.edge_id, capacity=self.config.channel_capacity
+                node,
+                dst_hau.node,
+                name=edge.edge_id,
+                capacity=self.config.channel_capacity,
+                batch_quantum=self.config.batch_quantum,
             )
             self.data_channels[edge.edge_id] = chan
             hau.attach_out_channel(edge, chan)

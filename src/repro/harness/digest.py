@@ -46,6 +46,11 @@ def canonical_json(obj: Any) -> str:
 def config_fingerprint(cfg: ExperimentConfig) -> dict[str, Any]:
     """The config as a JSON-ready dict (nested dataclasses flattened)."""
     out = dataclasses.asdict(cfg)
+    # Fields added after the baseline was pinned are omitted while at
+    # their inert default, so historical digests stay comparable; a
+    # non-default value genuinely changes behaviour and must fingerprint.
+    if out.get("batch_quantum") == 0.0:
+        del out["batch_quantum"]
     # app_params values are scalars/lists in every driver; round-trip
     # through canonical JSON to fail loudly on anything exotic.
     canonical_json(out)

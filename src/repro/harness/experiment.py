@@ -39,6 +39,10 @@ from repro.telemetry import (
 FULL_SCALE = bool(int(os.environ.get("REPRO_FULL", "0")))
 DEFAULT_WINDOW = 600.0 if FULL_SCALE else 150.0
 DEFAULT_WARMUP = 60.0 if FULL_SCALE else 30.0
+# Channel tuple-coalescing quantum in simulated seconds (see
+# repro.cluster.channel.Channel.offer); 0 = per-tuple sends, the
+# digest-pinned default.
+DEFAULT_BATCH_QUANTUM = float(os.environ.get("REPRO_BATCH_QUANTUM", "0") or 0.0)
 
 SCHEME_NAMES = ("none", "baseline", "ms-src", "ms-src+ap", "ms-src+ap+aa", "oracle")
 
@@ -58,6 +62,7 @@ class ExperimentConfig:
     oracle_times: list[float] | None = None
     enable_recovery: bool = False
     costs: CostModel | None = None
+    batch_quantum: float = DEFAULT_BATCH_QUANTUM
 
     def __post_init__(self):
         if self.app not in APPS:
@@ -338,6 +343,7 @@ def run_experiment(
             # saturated stage) stays well inside a checkpoint period.
             channel_capacity=16,
             inbox_capacity=32,
+            batch_quantum=cfg.batch_quantum,
         ),
     )
     runtime.start()

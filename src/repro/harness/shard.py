@@ -1,0 +1,356 @@
+"""Rack-shard fan-out: one large run as independent per-rack sub-runs.
+
+The sweep runner (:mod:`repro.harness.sweep`) fans independent *cells*
+over a process pool.  This module applies the same machinery *within*
+one large experiment: a synthetic topology whose replica chains never
+talk to each other decomposes into ``racks`` disjoint subgraphs — one
+per failure-correlation domain — and each shard runs in its own
+interpreter with its own seeded :class:`~repro.simulation.core.Environment`.
+Per-shard metrics and trace streams merge back deterministically
+(shard-index order; traces merge-sorted on ``(t, shard, seq)``), so a
+10k-HAU topology that would take one kernel minutes completes in
+``wall/racks`` on a multicore box with a byte-stable result.
+
+What makes a run shardable (checked up front, :class:`ShardingError`
+names the offending field otherwise):
+
+* the app is ``synth`` and every stage has the same replica count ``R``
+  (so replica ``g`` of every stage forms chain ``g``);
+* every edge uses ``pairing: "aligned"`` — with equal counts that is a
+  1:1 wiring, so chains share no channels;
+* the failure plan (if any) keeps racks isolated: ``rack``/``node``/
+  ``straggler`` events each land in exactly one shard.  ``partition``
+  events couple racks by definition and are rejected, as is anything
+  targeting the shared ``storage`` node.
+
+Chains split into ``racks`` contiguous blocks; block ``s`` becomes shard
+``s`` with ``seed_base`` set so local source replica ``j`` draws the
+same RNG stream as global replica ``lo + j`` in the unsharded topology
+(see :mod:`repro.apps.synth`).  The model this reproduces is a
+deployment whose placement is rack-aligned with chain blocks and whose
+controller/storage is replicated per rack — *not* the default
+round-robin placement, so shard digests are not comparable to an
+unsharded run's digest; what is preserved is per-chain source behaviour
+and, on a full drain, per-HAU tuple totals (asserted in
+``tests/test_shard.py``).
+
+Merging is a pure function of the per-shard payloads: throughput and
+kernel counters sum, latency is a throughput-weighted mean (as are the
+percentiles — an approximation, since raw samples never leave the
+worker), per-HAU counts union under their *global* ids, and the run
+digest is the order-sensitive combination of the shard digests.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.apps.synth import DEFAULT_TOPOLOGY
+from repro.failures.injector import FailurePlan, PlannedFailure
+from repro.harness.digest import (
+    canonical_json,
+    combined_digest,
+    config_fingerprint,
+    result_digest,
+)
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.sweep import default_jobs
+from repro.telemetry.registry import MetricRegistry
+
+
+class ShardingError(ValueError):
+    """The run cannot be decomposed into isolated rack shards."""
+
+
+_NODE_ID = re.compile(r"^(w|spare)(\d+)$")
+_RACK_ID = re.compile(r"^rack(\d+)$")
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard, ready to run in a worker process.
+
+    ``id_map`` translates the shard's local HAU ids back to the global
+    topology's ids (local replica ``j`` of a stage is global replica
+    ``lo + j`` of its chain block).
+    """
+
+    index: int
+    config: ExperimentConfig
+    failures: tuple[PlannedFailure, ...] | None
+    id_map: dict[str, str]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The decomposition of one config into rack shards."""
+
+    n_shards: int
+    chains: int  # replica count R of the unsharded topology
+    spans: tuple[tuple[int, int], ...]  # shard s owns chains [lo, hi)
+    tasks: tuple[ShardTask, ...]
+
+
+def _hau_ids(name: str, count: int) -> list[str]:
+    """Replica ids exactly as :func:`repro.apps.synth._hau_ids` assigns them."""
+    if count == 1:
+        return [name]
+    return [f"{name}{i}" for i in range(count)]
+
+
+def _check_shardable(cfg: ExperimentConfig) -> tuple[dict, int]:
+    """Validate the config and return ``(topology, R)``."""
+    if cfg.app != "synth":
+        raise ShardingError(
+            f"only the synth app decomposes into rack shards, not {cfg.app!r}"
+        )
+    topo = cfg.app_params.get("topology", DEFAULT_TOPOLOGY)
+    stages = topo.get("stages") or []
+    edges = topo.get("edges") or []
+    counts = {s.get("replicas", 1) for s in stages}
+    if len(counts) != 1:
+        raise ShardingError(
+            f"stages have unequal replica counts {sorted(counts)}; chains "
+            "must be 1:1 across every stage to shard"
+        )
+    replicas = counts.pop()
+    for i, edge in enumerate(edges):
+        if edge.get("pairing", "all") != "aligned":
+            raise ShardingError(
+                f"topology.edges[{i}] ({edge.get('src')}->{edge.get('dst')}) "
+                "uses pairing 'all'; chains share channels and cannot shard"
+            )
+    n_shards = cfg.racks
+    if replicas < n_shards:
+        raise ShardingError(
+            f"{replicas} chain(s) cannot fill {n_shards} rack shards"
+        )
+    if cfg.workers < n_shards:
+        raise ShardingError(
+            f"{cfg.workers} worker(s) cannot fill {n_shards} rack shards"
+        )
+    return topo, replicas
+
+
+def _route_failures(
+    plan: FailurePlan | None, n_shards: int
+) -> list[list[PlannedFailure]]:
+    """Map each planned failure to its owning shard, rewriting targets.
+
+    Global node ``w{i}``/``spare{i}`` lives in rack ``i % racks`` (the
+    :class:`~repro.cluster.topology.DataCenter` round-robin) and becomes
+    local node ``w{i // racks}`` of that shard; ``rack{s}`` becomes the
+    shard's only rack, ``rack0``.
+    """
+    routed: list[list[PlannedFailure]] = [[] for _ in range(n_shards)]
+    if plan is None:
+        return routed
+    for event in plan.sorted_events():
+        if event.kind == "partition":
+            raise ShardingError(
+                f"partition at t={event.at} couples racks by definition; "
+                "the failure plan is not rack-isolated"
+            )
+        if event.kind == "rack":
+            m = _RACK_ID.match(event.target)
+            if not m or int(m.group(1)) >= n_shards:
+                raise ShardingError(f"unknown rack target {event.target!r}")
+            shard = int(m.group(1))
+            routed[shard].append(replace(event, target="rack0"))
+        elif event.kind in ("node", "straggler"):
+            m = _NODE_ID.match(event.target)
+            if not m:
+                raise ShardingError(
+                    f"target {event.target!r} is not shardable (only worker "
+                    "and spare nodes belong to exactly one rack)"
+                )
+            prefix, i = m.group(1), int(m.group(2))
+            shard = i % n_shards
+            routed[shard].append(
+                replace(event, target=f"{prefix}{i // n_shards}")
+            )
+        else:
+            raise ShardingError(f"unknown failure kind {event.kind!r}")
+    return routed
+
+
+def plan_shards(
+    cfg: ExperimentConfig, failure_plan: FailurePlan | None = None
+) -> ShardPlan:
+    """Decompose ``cfg`` into ``cfg.racks`` independent shard tasks."""
+    topo, replicas = _check_shardable(cfg)
+    n = cfg.racks
+    routed = _route_failures(failure_plan, n)
+    tasks: list[ShardTask] = []
+    spans: list[tuple[int, int]] = []
+    for s in range(n):
+        lo, hi = s * replicas // n, (s + 1) * replicas // n
+        spans.append((lo, hi))
+        count = hi - lo
+        shard_topo = {
+            "stages": [
+                dict(stage, replicas=count, seed_base=lo)
+                for stage in topo["stages"]
+            ],
+            "edges": [dict(edge) for edge in topo["edges"]],
+        }
+        id_map: dict[str, str] = {}
+        for stage in topo["stages"]:
+            local = _hau_ids(stage["name"], count)
+            global_ids = _hau_ids(stage["name"], replicas)[lo:hi]
+            id_map.update(zip(local, global_ids))
+        shard_cfg = replace(
+            cfg,
+            # rack s of the global cluster holds every i-th node with
+            # i % racks == s — exactly (workers + racks - 1 - s) // racks
+            # workers — so node-failure targets keep their hardware.
+            workers=(cfg.workers + n - 1 - s) // n,
+            spares=(cfg.spares + n - 1 - s) // n,
+            racks=1,
+            app_params={**cfg.app_params, "topology": shard_topo},
+        )
+        tasks.append(
+            ShardTask(
+                index=s,
+                config=shard_cfg,
+                failures=tuple(routed[s]) or None,
+                id_map=id_map,
+            )
+        )
+    return ShardPlan(
+        n_shards=n, chains=replicas, spans=tuple(spans), tasks=tuple(tasks)
+    )
+
+
+def run_shard(task: ShardTask) -> dict[str, Any]:
+    """Execute one shard and reduce it (module-level: pickled to workers).
+
+    The payload carries metrics under *global* HAU ids, the shard's
+    determinism digest, and its trace events tagged with the shard index
+    (subjects translated to global ids where they name HAUs).  The
+    canonical-JSON round trip makes in-process and cross-process results
+    byte-identical, exactly as in :func:`repro.harness.sweep.run_cell`.
+    """
+    result = run_experiment(
+        task.config,
+        failure_plan=(
+            FailurePlan(events=list(task.failures)) if task.failures else None
+        ),
+        trace=True,
+    )
+    runtime = result.runtime
+    id_map = task.id_map
+    haus = {
+        id_map.get(hau_id, hau_id): {
+            "tuples": hau.tuples_processed,
+            "busy_seconds": hau.busy_time,
+        }
+        for hau_id, hau in sorted(runtime.haus.items())
+    }
+    trace = []
+    assert result.tracer is not None
+    for ev in result.tracer.events:
+        record = ev.as_dict()
+        record["shard"] = task.index
+        subject = record["subject"]
+        if subject in id_map:
+            record["subject"] = id_map[subject]
+        trace.append(record)
+    complete = [
+        log for log in result.checkpoint_logs if getattr(log, "complete", False)
+    ]
+    payload = {
+        "shard": task.index,
+        "config": config_fingerprint(task.config),
+        "throughput": result.throughput,
+        "latency": result.latency,
+        "latency_percentiles": dict(sorted(result.latency_percentiles.items())),
+        "haus": haus,
+        "rounds_completed": len(complete),
+        "kernel": runtime.env.kernel_stats(),
+        "digest": result_digest(result),
+        "trace": trace,
+    }
+    return json.loads(canonical_json(payload))
+
+
+def merge_shards(payloads: list[dict[str, Any]]) -> dict[str, Any]:
+    """Fold per-shard payloads into one run-level payload.
+
+    A pure, deterministic function of the inputs in shard-index order:
+    sums for throughput/kernel counters, throughput-weighted means for
+    latency metrics, a union for per-HAU counts (ids are disjoint by
+    construction), ``min`` for completed rounds (a global round is done
+    when its slowest shard is), and one trace stream merge-sorted on
+    ``(t, shard, seq)``.
+    """
+    total = sum(p["throughput"] for p in payloads)
+    weights = [p["throughput"] / total if total else 0.0 for p in payloads]
+
+    def weighted(values: list[float]) -> float:
+        return sum(w * v for w, v in zip(weights, values))
+
+    haus: dict[str, Any] = {}
+    for p in payloads:
+        for hau_id, counts in p["haus"].items():
+            if hau_id in haus:
+                raise ShardingError(f"HAU {hau_id!r} appears in two shards")
+            haus[hau_id] = counts
+    kernel: dict[str, float] = {}
+    for p in payloads:
+        for key, value in p["kernel"].items():
+            kernel[key] = kernel.get(key, 0) + value
+    percentile_keys = sorted(payloads[0]["latency_percentiles"]) if payloads else []
+    trace = sorted(
+        (ev for p in payloads for ev in p["trace"]),
+        key=lambda ev: (ev["t"], ev["shard"], ev["seq"]),
+    )
+    return {
+        "throughput": total,
+        "latency": weighted([p["latency"] for p in payloads]),
+        "latency_percentiles": {
+            k: weighted([p["latency_percentiles"][k] for p in payloads])
+            for k in percentile_keys
+        },
+        "haus": dict(sorted(haus.items())),
+        "rounds_completed": (
+            min(p["rounds_completed"] for p in payloads) if payloads else 0
+        ),
+        "kernel": dict(sorted(kernel.items())),
+        "digest": combined_digest([p["digest"] for p in payloads]),
+    }
+
+
+def run_sharded(
+    cfg: ExperimentConfig,
+    failure_plan: FailurePlan | None = None,
+    jobs: int | None = None,
+    registry: MetricRegistry | None = None,
+) -> dict[str, Any]:
+    """Plan, fan out and merge one sharded run.
+
+    Returns ``{"n_shards", "spans", "shards", "merged"}`` where
+    ``shards`` lines up index-for-index with the plan regardless of
+    worker completion order.  ``jobs`` defaults to ``REPRO_JOBS`` or all
+    cores; ``registry`` (optional) receives fan-out counters.
+    """
+    plan = plan_shards(cfg, failure_plan)
+    jobs = jobs if jobs is not None else default_jobs()
+    tasks = list(plan.tasks)
+    if jobs > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            payloads = list(pool.map(run_shard, tasks))
+    else:
+        payloads = [run_shard(task) for task in tasks]
+    if registry is not None:
+        registry.counter("ms_shard_runs_total").inc(len(payloads))
+    return {
+        "n_shards": plan.n_shards,
+        "spans": [list(span) for span in plan.spans],
+        "shards": payloads,
+        "merged": merge_shards(payloads),
+    }

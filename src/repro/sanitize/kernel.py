@@ -6,8 +6,11 @@ frame and ``getrefcount`` itself hold the object, so reuse is supposed
 to be invisible).  That guard is sound for CPython refcounting but
 *assumes* no C-level cache, debugger hook, or future refactor keeps an
 untracked reference.  Under ``REPRO_SAN=1`` this module replaces the
-four pool-touching entry points (``step`` / ``event`` / ``timeout`` /
-``acquire``) with copies that additionally:
+pool-touching entry points (``step`` / ``event`` / ``timeout`` /
+``acquire``, plus ``run``, whose inlined fast loop would otherwise
+bypass the audited step, and the Store/PriorityStore fast paths, which
+pop recycled events straight off cached pool lists) with copies that
+additionally:
 
 * swap a recycled event's ``__class__`` for a generated *poisoned* twin
   (same slot layout, every entry point raises
@@ -117,10 +120,17 @@ def _check_order(env: Any, key: tuple[float, int, int]) -> None:
 
 
 def _san_step(self) -> None:
-    heap = self._heap
-    if not heap:
-        raise _core.SimulationError("step() on empty schedule")
-    when, prio, seq, event = heappop(heap)
+    cal = self._cal
+    if cal is None:
+        heap = self._heap
+        if not heap:
+            raise _core.SimulationError("step() on empty schedule")
+        when, prio, seq, event = heappop(heap)
+    else:
+        entry = cal.pop()
+        if entry is None:
+            raise _core.SimulationError("step() on empty schedule")
+        when, prio, seq, event = entry
     now = self._now
     if when < now - 1e-12:
         raise SanitizerError(
@@ -177,7 +187,10 @@ def _san_timeout(self, delay: float, value: Any = None):
         t._value = value
         t._flushed = False
         self._seq = seq = self._seq + 1
-        heappush(self._heap, (self._now + delay, _core.NORMAL, seq, t))
+        if self._cal is None:
+            heappush(self._heap, (self._now + delay, _core.NORMAL, seq, t))
+        else:
+            self._cal.push((self._now + delay, _core.NORMAL, seq, t))
         return t
     self.pool_misses += 1
     return _core.Timeout(self, delay, value)
@@ -194,13 +207,110 @@ def _san_acquire(self, cls: type):
     return None
 
 
+def _san_run(self, until: Any = None) -> Any:
+    # The pristine run() inlines the pop/fire loop for speed, which would
+    # bypass the audited step; the generic stepwise loop drives the
+    # patched step() for every pop, so each one passes the poison and
+    # total-order checks.  Semantics (and digests) are identical.
+    return _core.Environment._run_stepwise(self, until)
+
+
+# Store.put / Store.get / PriorityStore.get pop their recycled events
+# straight off the cached per-class pool lists (bypassing the patched
+# ``acquire``), so the sanitized copies must heal the poisoned
+# ``__class__`` at the same spot.  Everything else is line-for-line the
+# pristine fast path: counters, succeed order and drain behaviour match.
+
+
+def _san_store_put(self, item: Any):
+    env = self.env
+    pool = self._put_pool
+    if pool:
+        env.pool_hits += 1
+        ev = pool.pop()
+        ev.__class__ = _res._Put
+        ev.store = self
+        ev.item = item
+    else:
+        env.pool_misses += 1
+        ev = _res._Put(env, self, item)
+    if not self._putters and len(self.items) < self.capacity:
+        self.items.append(ev.item)
+        ev.succeed()
+        if self._getters:
+            self._drain()
+        return ev
+    self._putters.append(ev)
+    self._drain()
+    return ev
+
+
+def _san_store_get(self):
+    env = self.env
+    pool = self._get_pool
+    if pool:
+        env.pool_hits += 1
+        ev = pool.pop()
+        ev.__class__ = _res._Get
+        ev.store = self
+    else:
+        env.pool_misses += 1
+        ev = _res._Get(env, self)
+    if self.items and not self._getters:
+        ev.succeed(self.items.popleft())
+        if self._putters and len(self.items) < self.capacity:
+            put = self._putters.popleft()
+            self.items.append(put.item)
+            put.succeed()
+        return ev
+    self._getters.append(ev)
+    self._drain()
+    return ev
+
+
+def _san_priority_store_get(self):
+    env = self.env
+    pool = self._get_pool
+    if pool:
+        env.pool_hits += 1
+        ev = pool.pop()
+        ev.__class__ = _res._Get
+        ev.store = self
+    else:
+        env.pool_misses += 1
+        ev = _res._Get(env, self)
+    if self.items and not self._getters:
+        best_idx = min(range(len(self.items)), key=lambda i: self.items[i])
+        item, _seq = self.items[best_idx]
+        del self.items[best_idx]
+        ev.succeed(item)
+        if self._putters and len(self.items) < self.capacity:
+            put = self._putters.popleft()
+            self.items.append(put.item)
+            put.succeed()
+        return ev
+    self._getters.append(ev)
+    self._drain()
+    return ev
+
+
 _PATCHES = {
     "step": _san_step,
     "event": _san_event,
     "timeout": _san_timeout,
     "acquire": _san_acquire,
+    "run": _san_run,
 }
+# (class-name, method-name) -> sanitized copy, applied to
+# repro.simulation.resources at install time.
+_RES_PATCHES = {
+    ("Store", "put"): _san_store_put,
+    ("Store", "get"): _san_store_get,
+    ("PriorityStore", "get"): _san_priority_store_get,
+}
+_res: Any = None
 _originals: dict[str, Any] = {}
+_res_originals: dict[tuple[str, str], Any] = {}
 
 
 def installed() -> bool:
@@ -209,15 +319,20 @@ def installed() -> bool:
 
 def install() -> None:
     """Swap the kernel entry points for the sanitized copies (idempotent)."""
-    global _core
+    global _core, _res
     if _originals:
         return
-    from repro.simulation import core
+    from repro.simulation import core, resources
 
     _core = core
+    _res = resources
     for name, fn in _PATCHES.items():
         _originals[name] = getattr(_core.Environment, name)
         setattr(_core.Environment, name, fn)
+    for (cls_name, meth), fn in _RES_PATCHES.items():
+        cls = getattr(_res, cls_name)
+        _res_originals[(cls_name, meth)] = cls.__dict__[meth]
+        setattr(cls, meth, fn)
 
 
 def uninstall() -> None:
@@ -231,5 +346,8 @@ def uninstall() -> None:
     """
     for name, fn in _originals.items():
         setattr(_core.Environment, name, fn)
+    for (cls_name, meth), fn in _res_originals.items():
+        setattr(getattr(_res, cls_name), meth, fn)
     _originals.clear()
+    _res_originals.clear()
     _order_state.clear()

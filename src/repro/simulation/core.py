@@ -20,12 +20,14 @@ slow paths, so same-seed runs remain bit-identical (checked by
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable, Generator, Iterable
 from heapq import heappop, heappush
 from sys import getrefcount
 from typing import Any
 
 from repro.observability.tracer import NULL_TRACER, Tracer
+from repro.simulation.calendar import CalendarQueue
 from repro.telemetry.registry import NULL_REGISTRY, MetricRegistry
 
 # Event scheduling priorities.  URGENT is used internally for process
@@ -33,6 +35,13 @@ from repro.telemetry.registry import NULL_REGISTRY, MetricRegistry
 # settle before ordinary events fire.
 URGENT = 0
 NORMAL = 1
+
+# Scheduler backend for new environments: the binary heap (default, the
+# digest-pinned fast path) or the calendar queue (REPRO_SCHED=calendar;
+# same (time, priority, seq) total order, amortized O(1) at high event
+# density).  Read once at import, like the other REPRO_* config knobs.
+_SCHEDULERS = ("heap", "calendar")
+_DEFAULT_SCHEDULER = os.environ.get("REPRO_SCHED", "heap")
 
 # Per-environment free-list bound: big enough to absorb the steady-state
 # churn of a 56-node run, small enough that a burst never pins memory.
@@ -147,7 +156,10 @@ class Event:
         self._scheduled = True
         env = self.env
         env._seq = seq = env._seq + 1
-        heappush(env._heap, (env._now + delay, NORMAL, seq, self))
+        if env._cal is None:
+            heappush(env._heap, (env._now + delay, NORMAL, seq, self))
+        else:
+            env._cal.push((env._now + delay, NORMAL, seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -162,7 +174,10 @@ class Event:
         self._scheduled = True
         env = self.env
         env._seq = seq = env._seq + 1
-        heappush(env._heap, (env._now + delay, NORMAL, seq, self))
+        if env._cal is None:
+            heappush(env._heap, (env._now + delay, NORMAL, seq, self))
+        else:
+            env._cal.push((env._now + delay, NORMAL, seq, self))
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -336,13 +351,43 @@ class Process(Event):
 
     # -- internal ----------------------------------------------------------
     def _resume(self, event: Event) -> None:
+        # The callback-side twin of _step with the delegated call inlined:
+        # this runs once per popped event, so the extra frame is visible.
         self._waiting_on = None
         if self._settled:
             return
-        if event._ok:
-            self._step(send=event._value)
+        env = self.env
+        env._active_process = self
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            self.succeed(None)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        finally:
+            env._active_process = None
+
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(SimulationError(f"process {self.label!r} yielded non-event {target!r}"))
+            return
+        self._waiting_on = target
+        if target._flushed:
+            env._schedule_kick(self, target=target)
         else:
-            self._step(throw=event._value)
+            cbs = target.callbacks
+            if cbs is None:
+                target.callbacks = [self._resume]
+            else:
+                cbs.append(self._resume)
 
     def _step(self, send: Any = None, throw: BaseException | None = None) -> None:
         if self._settled:
@@ -395,6 +440,7 @@ class Environment:
     __slots__ = (
         "_now",
         "_heap",
+        "_cal",
         "_seq",
         "_active_process",
         "trace",
@@ -406,9 +452,21 @@ class Environment:
         "pool_misses",
     )
 
-    def __init__(self):
+    def __init__(self, scheduler: str | None = None):
         self._now: float = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
+        # Scheduler backend: None means the binary heap above (default);
+        # a CalendarQueue means every push/pop goes through it instead.
+        # Both produce the identical (time, priority, seq) total order.
+        if scheduler is None:
+            scheduler = _DEFAULT_SCHEDULER
+        if scheduler not in _SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r} (expected one of {_SCHEDULERS})"
+            )
+        self._cal: CalendarQueue | None = (
+            CalendarQueue() if scheduler == "calendar" else None
+        )
         self._seq = 0
         self._active_process: Process | None = None
         # Structured tracing (repro.observability): the no-op default means
@@ -446,6 +504,11 @@ class Environment:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def scheduler(self) -> str:
+        """Name of the active scheduler backend (``heap`` or ``calendar``)."""
+        return "heap" if self._cal is None else "calendar"
 
     @property
     def active_process(self) -> Process | None:
@@ -517,7 +580,10 @@ class Environment:
             # _settled/_ok/_scheduled were left True by the recycler; the
             # schedule below mirrors Timeout.__init__ exactly.
             self._seq = seq = self._seq + 1
-            heappush(self._heap, (self._now + delay, NORMAL, seq, t))
+            if self._cal is None:
+                heappush(self._heap, (self._now + delay, NORMAL, seq, t))
+            else:
+                self._cal.push((self._now + delay, NORMAL, seq, t))
             return t
         self.pool_misses += 1
         return Timeout(self, delay, value)
@@ -537,7 +603,10 @@ class Environment:
             return
         event._scheduled = True
         self._seq = seq = self._seq + 1
-        heappush(self._heap, (self._now + delay, priority, seq, event))
+        if self._cal is None:
+            heappush(self._heap, (self._now + delay, priority, seq, event))
+        else:
+            self._cal.push((self._now + delay, priority, seq, event))
 
     def _schedule_kick(
         self,
@@ -558,14 +627,24 @@ class Environment:
         kick.target = target
         kick.throw = throw
         self._seq = seq = self._seq + 1
-        heappush(self._heap, (self._now, NORMAL, seq, kick))
+        if self._cal is None:
+            heappush(self._heap, (self._now, NORMAL, seq, kick))
+        else:
+            self._cal.push((self._now, NORMAL, seq, kick))
 
     def step(self) -> None:
         """Pop and fire the next event; advances the clock."""
-        heap = self._heap
-        if not heap:
-            raise SimulationError("step() on empty schedule")
-        when, _prio, _seq, event = heappop(heap)
+        cal = self._cal
+        if cal is None:
+            heap = self._heap
+            if not heap:
+                raise SimulationError("step() on empty schedule")
+            when, _prio, _seq, event = heappop(heap)
+        else:
+            entry = cal.pop()
+            if entry is None:
+                raise SimulationError("step() on empty schedule")
+            when, _prio, _seq, event = entry
         now = self._now
         if when < now - 1e-12:
             raise SimulationError("event scheduled in the past")
@@ -596,7 +675,10 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        cal = self._cal
+        if cal is None:
+            return self._heap[0][0] if self._heap else float("inf")
+        return cal.peek()
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run until a time, an event, or schedule exhaustion.
@@ -606,16 +688,73 @@ class Environment:
           value (raises if it failed).
         * ``until`` is None → run until no events remain.
         """
+        if until is None or isinstance(until, Event) or self._cal is not None:
+            return self._run_stepwise(until)
+        # Heap fast path for the run-until-horizon shape every experiment
+        # uses: step() inlined with the heap, free lists and counters
+        # hoisted into locals.  Pops the identical entries in the
+        # identical order as step(), so digests are unaffected.
+        horizon = float(until)
+        now = self._now
+        if horizon < now:
+            raise SimulationError("cannot run backwards in time")
+        heap = self._heap
+        pools_get = self._pools.get
+        kick_cls = _Kick
+        limit = _POOL_LIMIT
+        refcount = getrefcount
+        pop = heappop
+        popped = 0
+        try:
+            while heap and heap[0][0] <= horizon:
+                when, _prio, _seq, event = pop(heap)
+                if when > now:
+                    self._now = now = when
+                elif when < now - 1e-12:
+                    raise SimulationError("event scheduled in the past")
+                popped += 1
+                cls = event.__class__
+                if cls is kick_cls:
+                    event.fire()
+                    continue
+                event._flushed = True
+                callbacks = event.callbacks
+                if callbacks is not None:
+                    event.callbacks = None
+                    for cb in callbacks:
+                        cb(event)
+                if refcount(event) == 2:
+                    pool = pools_get(cls)
+                    if pool is not None and len(pool) < limit:
+                        event._recycle()
+                        pool.append(event)
+        finally:
+            self.events_popped += popped
+        self._now = horizon
+        return None
+
+    def _run_stepwise(self, until: float | Event | None) -> Any:
+        """Generic run loop driving :meth:`step` per event.
+
+        Used for the calendar-queue backend and the non-horizon ``until``
+        shapes; also the loop the REPRO_SAN sanitizer reinstates so every
+        pop goes through the audited step.
+        """
         step = self.step
+        cal = self._cal
         if until is None:
-            heap = self._heap
-            while heap:
-                step()
+            if cal is None:
+                heap = self._heap
+                while heap:
+                    step()
+            else:
+                while cal:
+                    step()
             return None
         if isinstance(until, Event):
             sentinel = until
             while not sentinel._flushed:
-                if not self._heap:
+                if not (self._heap if cal is None else cal):
                     if sentinel.triggered:
                         break
                     raise SimulationError("schedule exhausted before until-event fired")
@@ -626,8 +765,7 @@ class Environment:
         horizon = float(until)
         if horizon < self._now:
             raise SimulationError("cannot run backwards in time")
-        heap = self._heap
-        while heap and heap[0][0] <= horizon:
+        while self.peek() <= horizon:
             step()
         self._now = horizon
         return None

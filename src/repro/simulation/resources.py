@@ -19,13 +19,14 @@ from repro.simulation.core import Environment, Event, SimulationError
 class _Request(Event):
     """A pending claim on a :class:`Resource` slot."""
 
-    __slots__ = ("resource", "priority", "_seq")
+    __slots__ = ("resource", "priority", "_seq", "_abandoned")
 
     def __init__(self, env: Environment, resource: "Resource", priority: int = 0):
         super().__init__(env)
         self.resource = resource
         self.priority = priority
         self._seq = 0
+        self._abandoned = False
 
     def cancel(self) -> None:
         """Withdraw the claim; releases the slot if already granted."""
@@ -51,6 +52,7 @@ class Resource:
         self._queue: list[tuple[int, int, _Request]] = []  # heap
         self._seq = 0
         self._users: set[_Request] = set()
+        self._cancelled = 0  # tombstoned (abandoned) entries still in _queue
 
     @property
     def count(self) -> int:
@@ -59,7 +61,7 @@ class Resource:
 
     @property
     def queued(self) -> int:
-        return len(self._queue)
+        return len(self._queue) - self._cancelled
 
     def request(self, priority: int = 0) -> _Request:
         req = _Request(self.env, self, priority=priority)
@@ -79,16 +81,30 @@ class Resource:
         self._grant_next()
 
     def _abandon(self, request: _Request) -> None:
-        for i, (_p, _s, queued) in enumerate(self._queue):
-            if queued is request:
-                del self._queue[i]
-                heapq.heapify(self._queue)
-                return
+        # Lazy tombstone instead of an O(n) scan + heapify per cancel
+        # (interrupt storms — a rack failure killing dozens of queued
+        # writers — made each cancel linear in the wait queue).  The
+        # entry stays in the heap, flagged, and is discarded when it
+        # surfaces in _grant_next; once tombstones outnumber live
+        # entries the heap is compacted in one deterministic pass.
+        if request._abandoned:
+            return
+        request._abandoned = True
+        self._cancelled = cancelled = self._cancelled + 1
+        if cancelled > len(self._queue) - cancelled:
+            self._queue = [e for e in self._queue if not e[2]._abandoned]
+            heapq.heapify(self._queue)
+            self._cancelled = 0
 
     def _grant_next(self) -> None:
-        while self._queue and len(self._users) < self.capacity:
-            _p, _s, nxt = heapq.heappop(self._queue)
-            self._users.add(nxt)
+        queue = self._queue
+        users = self._users
+        while queue and len(users) < self.capacity:
+            _p, _s, nxt = heapq.heappop(queue)
+            if nxt._abandoned:
+                self._cancelled -= 1
+                continue
+            users.add(nxt)
             nxt.succeed()
 
 
@@ -145,8 +161,12 @@ class Store:
         self._putters: deque[_Put] = deque()
         # Get/put events churn once per tuple hop; recycle them through
         # the environment's free lists (shared across stores per class).
+        # The pool lists are cached on the store so put()/get() skip the
+        # acquire() call and its dict lookup on every tuple hop.
         env.register_pool(_Get)
         env.register_pool(_Put)
+        self._get_pool = env._pools[_Get]
+        self._put_pool = env._pools[_Put]
 
     def __len__(self) -> int:
         return len(self.items)
@@ -156,12 +176,16 @@ class Store:
         return tuple(self.items)
 
     def put(self, item: Any) -> _Put:
-        ev = self.env.acquire(_Put)
-        if ev is None:
-            ev = _Put(self.env, self, item)
-        else:
+        env = self.env
+        pool = self._put_pool
+        if pool:
+            env.pool_hits += 1
+            ev = pool.pop()
             ev.store = self
             ev.item = item
+        else:
+            env.pool_misses += 1
+            ev = _Put(env, self, item)
         # Fast path: room and no queued putters (the steady state) — accept
         # in place, skipping the _drain loop.  The succeed order matches
         # _drain exactly: the put settles first, then (via the virtual
@@ -187,11 +211,15 @@ class Store:
         self._drain()
 
     def get(self) -> _Get:
-        ev = self.env.acquire(_Get)
-        if ev is None:
-            ev = _Get(self.env, self)
-        else:
+        env = self.env
+        pool = self._get_pool
+        if pool:
+            env.pool_hits += 1
+            ev = pool.pop()
             ev.store = self
+        else:
+            env.pool_misses += 1
+            ev = _Get(env, self)
         # Fast path: an item is ready (getters must be empty then — _drain
         # never leaves both getters and items).  Succeed order matches
         # _drain: the get settles first, then at most one backpressured
@@ -252,11 +280,15 @@ class PriorityStore(Store):
         return super().put((item, self._seq))
 
     def get(self) -> _Get:
-        ev = self.env.acquire(_Get)
-        if ev is None:
-            ev = _Get(self.env, self)
-        else:
+        env = self.env
+        pool = self._get_pool
+        if pool:
+            env.pool_hits += 1
+            ev = pool.pop()
             ev.store = self
+        else:
+            env.pool_misses += 1
+            ev = _Get(env, self)
         # Fast path mirroring Store.get, with the min-scan pick.
         if self.items and not self._getters:
             best_idx = min(range(len(self.items)), key=lambda i: self.items[i])

@@ -1,0 +1,221 @@
+"""Batched tuple traffic (BatchEnvelope) vs per-tuple sends.
+
+The batching contract has two halves.  With ``batch_quantum=0`` the
+envelope path is never entered: configs fingerprint without the field
+and runs digest bit-identically, so the committed baseline digests stay
+valid.  With ``batch_quantum>0`` the kernel pays one channel message per
+quantum instead of one per tuple, but *schemes must not be able to
+tell*: on unpack the receiver replays the per-tuple boundary protocol,
+so per-edge delivery order — and therefore checkpointed state and
+exactly-once recovery — is unchanged.  The oracle is
+:class:`~repro.dsps.testing.VerifySink`, whose full delivery log is
+checkpointed state: full-drain runs compare bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.core import MSSrcAP
+from repro.dsps.application import StreamApplication
+from repro.dsps.graph import QueryGraph
+from repro.dsps.operator import Emit, Operator
+from repro.dsps.runtime import DSPSRuntime, RuntimeConfig
+from repro.dsps.testing import (
+    IntervalSource,
+    VerifySink,
+    make_chain_graph,
+    make_diamond_graph,
+)
+from repro.dsps.tuples import BatchEnvelope, DataTuple
+from repro.harness.digest import config_fingerprint, result_digest
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.simulation.core import Environment
+
+
+def make_fanout_graph(source_count: int = 40, interval: float = 0.05):
+    """One source feeding two independent sinks (broadcast fan-out)."""
+    holder: dict = {}
+
+    class Splitter(Operator):
+        def on_tuple(self, port, tup):
+            return [
+                Emit(payload=tup.payload, size=tup.size, port=p, key=tup.key)
+                for p in range(2)
+            ]
+
+    def sink(name):
+        def make():
+            s = VerifySink()
+            holder[name] = s
+            return [s]
+
+        return make
+
+    g = QueryGraph()
+    g.add_hau(
+        "src",
+        lambda: [IntervalSource(count=source_count, interval=interval, size=20_000)],
+        is_source=True,
+    )
+    g.add_hau("split", lambda: [Splitter()])
+    g.add_hau("ka", sink("ka"), is_sink=True)
+    g.add_hau("kb", sink("kb"), is_sink=True)
+    g.connect("src", "split")
+    g.connect("split", "ka", src_port=0)
+    g.connect("split", "kb", src_port=1)
+    return g, holder
+
+
+def deploy(graph, holder, quantum: float, until: float = 30.0, scheme=None):
+    """Run a test graph to full drain and return the sink logs."""
+    env = Environment()
+    app = StreamApplication(name="t", graph=graph)
+    rt = DSPSRuntime(
+        env,
+        app,
+        scheme or MSSrcAP(checkpoint_times=[8.0, 16.0]),
+        RuntimeConfig(
+            seed=7,
+            cluster=ClusterSpec(workers=6, spares=6, racks=2),
+            batch_quantum=quantum,
+        ),
+    )
+    rt.start()
+    env.run(until=until)
+    return {
+        name: list(sink.payload_log) for name, sink in sorted(holder.items())
+    }, env
+
+
+# -- digest-pinned default ---------------------------------------------------
+
+def test_quantum_zero_is_omitted_from_config_fingerprint():
+    cfg = ExperimentConfig(app="tmi", app_params={"n_minutes": 0.25})
+    assert cfg.batch_quantum == 0.0
+    assert "batch_quantum" not in config_fingerprint(cfg)
+    batched = dataclasses.replace(cfg, batch_quantum=0.01)
+    assert config_fingerprint(batched)["batch_quantum"] == 0.01
+
+
+def test_quantum_zero_digest_identical_to_default():
+    common = dict(
+        app="tmi", scheme="ms-src", n_checkpoints=1, window=30.0, warmup=8.0,
+        workers=8, spares=8, racks=2, seed=2, app_params={"n_minutes": 0.2},
+    )
+    default = run_experiment(ExperimentConfig(**common))
+    explicit = run_experiment(ExperimentConfig(batch_quantum=0.0, **common))
+    assert result_digest(default) == result_digest(explicit)
+    # quantum=0 never builds an envelope
+    assert all(
+        c.batches_flushed == 0 for c in default.runtime.data_channels.values()
+    )
+
+
+# -- scheme-visible order is batching-invariant ------------------------------
+
+@pytest.mark.parametrize("quantum", [0.01, 0.05])
+@pytest.mark.parametrize(
+    "maker",
+    [make_chain_graph, make_diamond_graph, make_fanout_graph],
+    ids=["chain", "diamond", "fanout"],
+)
+def test_delivery_order_unchanged_by_batching(maker, quantum):
+    g0, h0 = maker()
+    logs_plain, env_plain = deploy(g0, h0, quantum=0.0)
+    g1, h1 = maker()
+    logs_batch, env_batch = deploy(g1, h1, quantum=quantum)
+    assert logs_batch == logs_plain
+    assert any(log for log in logs_plain.values())  # drained something real
+
+
+def test_batching_reduces_channel_messages():
+    g0, h0 = make_chain_graph(source_count=80, interval=0.02)
+    _, env_plain = deploy(g0, h0, quantum=0.0)
+    g1, h1 = make_chain_graph(source_count=80, interval=0.02)
+    _, env_batch = deploy(g1, h1, quantum=0.1)
+    # same model outcome, strictly fewer kernel events
+    assert env_batch.events_popped < env_plain.events_popped
+
+
+def test_exactly_once_with_failure_under_batching():
+    """Kill the mid node at 3.2s and recover: the batched run's final
+    sink log must equal the failure-free (unbatched) run's, bit for bit
+    — envelopes neither duplicate nor drop tuples across a rollback."""
+
+    def run(quantum, fail):
+        g, holder = make_chain_graph(source_count=60, interval=0.05)
+        env = Environment()
+        app = StreamApplication(name="t", graph=g)
+        rt = DSPSRuntime(
+            env,
+            app,
+            MSSrcAP(checkpoint_times=[2.0, 6.0], enable_recovery=True),
+            RuntimeConfig(
+                seed=7,
+                cluster=ClusterSpec(workers=6, spares=6, racks=2),
+                batch_quantum=quantum,
+            ),
+        )
+        rt.start()
+        if fail:
+            node = rt.haus["mid"].node
+
+            def killer():
+                yield env.timeout(3.2)
+                node.fail("test")
+
+            env.process(killer(), label="killer")
+        env.run(until=40.0)
+        return list(holder["sink"].payload_log)
+
+    clean = run(0.0, fail=False)
+    assert run(0.02, fail=False) == clean
+    assert run(0.02, fail=True) == clean
+    assert run(0.0, fail=True) == clean
+
+
+# -- envelope mechanics -------------------------------------------------------
+
+def test_envelope_size_and_len():
+    tuples = [
+        DataTuple(payload=i, size=100 * (i + 1), key=i, created_at=0.0)
+        for i in range(3)
+    ]
+    env = BatchEnvelope(tuples)
+    assert len(env) == 3
+    assert env.size == 100 + 200 + 300
+
+
+def test_channel_coalesces_within_quantum():
+    from repro.cluster.node import Node
+
+    env = Environment()
+    a, b = Node(env, "a"), Node(env, "b")
+    chan_batched = __import__("repro.cluster.channel", fromlist=["Channel"]).Channel(
+        env, a, b, batch_quantum=0.01, name="t"
+    )
+    got = []
+
+    def receiver():
+        while True:
+            msg = yield chan_batched.recv()
+            got.append(msg.payload)
+
+    env.process(receiver(), label="rx")
+
+    def sender():
+        for i in range(5):
+            chan_batched.offer(i, size=10)
+        yield env.timeout(1.0)
+
+    env.process(sender(), label="tx")
+    env.run(until=2.0)
+    assert len(got) == 1
+    assert isinstance(got[0], BatchEnvelope)
+    assert got[0].tuples == [0, 1, 2, 3, 4]
+    assert got[0].size == 50
+    assert chan_batched.batches_flushed == 1

@@ -1,0 +1,218 @@
+"""Calendar-queue scheduler: order equivalence with the kernel heap.
+
+The determinism digests rest on the calendar queue popping entries in
+exactly the binary heap's ``(time, priority, seq)`` total order.  These
+tests police that contract three ways: directly on the data structure
+with randomized schedules (the property test the ISSUE asks for), on
+the structure's edge cases (far-future overflow, adaptive resize,
+cursor regression), and end-to-end — a whole experiment digests
+identically under ``Environment(scheduler="heap"|"calendar")`` and the
+kernel sanitizer's order assertions hold with the calendar active.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.harness.digest import result_digest
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.sanitize import kernel as san_kernel
+from repro.simulation.calendar import CalendarQueue
+from repro.simulation.core import Environment, NORMAL, SimulationError, URGENT
+
+
+class HeapReference:
+    """The kernel's legacy scheduler, verbatim: a plain binary heap."""
+
+    def __init__(self):
+        self._heap = []
+
+    def push(self, entry):
+        heapq.heappush(self._heap, entry)
+
+    def pop(self, horizon=float("inf")):
+        if not self._heap or self._heap[0][0] > horizon:
+            return None
+        return heapq.heappop(self._heap)
+
+    def peek(self):
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __len__(self):
+        return len(self._heap)
+
+
+def random_schedule(rng: np.random.Generator, ops: int = 4000):
+    """An adversarial op stream: clustered times, exact ties, far-future
+    spikes, urgent priorities and pop bursts (drains force shrink
+    resizes; the spikes force overflow-heap traffic)."""
+    seq = 0
+    clock = 0.0
+    script = []
+    for _ in range(ops):
+        roll = rng.random()
+        if roll < 0.55:
+            u = rng.random()
+            if u < 0.5:
+                delay = float(rng.exponential(0.001))  # dense cluster
+            elif u < 0.8:
+                delay = float(rng.uniform(0.0, 1.0))
+            elif u < 0.9:
+                delay = 0.0  # exact tie on the current clock
+            else:
+                delay = float(rng.uniform(1e3, 1e6))  # far-future overflow
+            prio = URGENT if rng.random() < 0.2 else NORMAL
+            seq += 1
+            script.append(("push", (clock + delay, prio, seq, None)))
+        elif roll < 0.85:
+            script.append(("pop", None))
+        elif roll < 0.95:
+            burst = int(rng.integers(1, 40))
+            script.extend(("pop", None) for _ in range(burst))
+        else:
+            # pop bounded by a horizon (run-until semantics)
+            script.append(("pop_horizon", clock + float(rng.uniform(0, 0.01))))
+        if script[-1][0] == "push":
+            clock = max(clock, 0.0)
+    return script
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 7, 42])
+def test_randomized_schedules_pop_identically(seed):
+    rng = np.random.default_rng(seed)
+    cal, ref = CalendarQueue(), HeapReference()
+    clock = 0.0
+    for op, arg in random_schedule(rng):
+        if op == "push":
+            cal.push(arg)
+            ref.push(arg)
+        elif op == "pop":
+            got, want = cal.pop(), ref.pop()
+            assert got == want
+            if want is not None:
+                clock = want[0]
+        else:
+            got, want = cal.pop(horizon=arg), ref.pop(horizon=arg)
+            assert got == want
+        assert len(cal) == len(ref)
+        assert cal.peek() == ref.peek()
+    # full drain: every remaining entry surfaces in heap order
+    while len(ref):
+        assert cal.pop() == ref.pop()
+    assert cal.pop() is None
+
+
+def test_equal_times_break_ties_on_priority_then_seq():
+    cal = CalendarQueue()
+    entries = [
+        (1.0, NORMAL, 3, "c"),
+        (1.0, URGENT, 4, "d"),
+        (1.0, URGENT, 2, "b"),
+        (1.0, NORMAL, 1, "a"),
+    ]
+    for e in entries:
+        cal.push(e)
+    assert [cal.pop()[3] for _ in range(4)] == ["b", "d", "a", "c"]
+
+
+def test_far_future_overflow_cascades_in_order():
+    cal = CalendarQueue()
+    # far beyond the initial year (64 buckets x 1e-3 s): all on the far heap
+    far = [(1e6 + i * 0.1, NORMAL, i, i) for i in range(50)]
+    near = [(i * 1e-4, NORMAL, 100 + i, 100 + i) for i in range(10)]
+    for e in far + near:
+        cal.push(e)
+    times = [cal.pop()[0] for _ in range(60)]
+    assert times == sorted(times)
+    assert cal.pop() is None
+
+
+def test_resize_grow_and_shrink_preserve_order():
+    cal = CalendarQueue()
+    rng = np.random.default_rng(5)
+    # 1000 entries force several doubling resizes (threshold 2x buckets)
+    entries = sorted(
+        (float(rng.uniform(0, 10)), NORMAL, i, i) for i in range(1000)
+    )
+    for e in rng.permutation(np.arange(1000)):
+        cal.push(entries[int(e)])
+    # draining forces shrink resizes (threshold 0.25x buckets)
+    assert [cal.pop() for _ in range(1000)] == entries
+    assert len(cal) == 0
+
+
+def test_cursor_regression_after_horizon_scan():
+    cal = CalendarQueue()
+    cal.push((10.0, NORMAL, 1, "late"))
+    # the horizon scan walks the cursor up to the day holding t=10 ...
+    assert cal.pop(horizon=5.0) is None
+    # ... and a subsequent earlier push must still pop first
+    cal.push((3.0, NORMAL, 2, "early"))
+    assert cal.pop()[3] == "early"
+    assert cal.pop()[3] == "late"
+
+
+# -- kernel integration ------------------------------------------------------
+
+def _mixed_workload(env):
+    done = []
+
+    def ticker(label, delay, n):
+        for _ in range(n):
+            yield env.timeout(delay)
+        done.append((env.now, label))
+
+    for i in range(20):
+        env.process(ticker(f"p{i}", 0.01 * (i + 1), 10), label=f"p{i}")
+    env.run(until=5.0)
+    return done, env.events_popped
+
+
+def test_environment_scheduler_selection():
+    assert Environment(scheduler="heap").scheduler == "heap"
+    assert Environment(scheduler="calendar").scheduler == "calendar"
+    with pytest.raises(SimulationError):
+        Environment(scheduler="wheel")
+
+
+def test_calendar_environment_matches_heap_environment():
+    done_h, popped_h = _mixed_workload(Environment(scheduler="heap"))
+    done_c, popped_c = _mixed_workload(Environment(scheduler="calendar"))
+    assert done_c == done_h
+    assert popped_c == popped_h
+
+
+def test_whole_run_digest_identical_across_schedulers(monkeypatch):
+    import repro.simulation.core as core
+
+    cfg = ExperimentConfig(
+        app="tmi", scheme="ms-src+ap", n_checkpoints=2, window=40.0,
+        warmup=10.0, workers=8, spares=12, racks=2, seed=1,
+        app_params={"n_minutes": 0.25},
+    )
+    digests = {}
+    for sched in ("heap", "calendar"):
+        monkeypatch.setattr(core, "_DEFAULT_SCHEDULER", sched)
+        digests[sched] = result_digest(run_experiment(cfg))
+    assert digests["heap"] == digests["calendar"]
+
+
+def test_calendar_under_kernel_sanitizer():
+    """The PR-8 heap-total-order assertions are the equivalence oracle:
+    with the sanitizer armed, any out-of-order pop from the calendar
+    raises.  Run the mixed workload with it installed (idempotent if the
+    suite itself runs under REPRO_SAN=1) and require heap-equal output."""
+    was = san_kernel.installed()
+    if not was:
+        san_kernel.install()
+    try:
+        done_c, popped_c = _mixed_workload(Environment(scheduler="calendar"))
+        done_h, popped_h = _mixed_workload(Environment(scheduler="heap"))
+        assert done_c == done_h
+        assert popped_c == popped_h
+    finally:
+        if not was:
+            san_kernel.uninstall()

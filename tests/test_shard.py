@@ -1,0 +1,171 @@
+"""Rack-shard fan-out (repro.harness.shard).
+
+The claims under test: a shardable synth run splits into per-rack
+sub-runs whose merged result is (a) byte-identical whether shards run
+serially or across a process pool, (b) equal to the unsharded run on
+per-HAU tuple totals after a full drain (``seed_base`` keeps every
+global source replica on its own RNG stream), and (c) deterministic in
+its merged metric/trace streams.  Non-shardable inputs — unequal
+replicas, ``pairing: all`` edges, partition events, storage targets —
+fail up front with a :class:`ShardingError` naming the offending field.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.failures.injector import FailurePlan, PlannedFailure
+from repro.harness.digest import canonical_json
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.shard import (
+    ShardingError,
+    merge_shards,
+    plan_shards,
+    run_shard,
+    run_sharded,
+)
+
+
+def chain_topology(replicas: int = 4, count: int = 40) -> dict:
+    return {
+        "stages": [
+            {"name": "S", "kind": "source", "replicas": replicas,
+             "count": count, "interval": 0.1, "size": 4096},
+            {"name": "W", "kind": "map", "replicas": replicas,
+             "size": 2048, "state_window": 8},
+            {"name": "K", "kind": "sink", "replicas": replicas},
+        ],
+        "edges": [
+            {"src": "S", "dst": "W", "pairing": "aligned"},
+            {"src": "W", "dst": "K", "pairing": "aligned"},
+        ],
+    }
+
+
+def shardable_config(**overrides) -> ExperimentConfig:
+    base = dict(
+        app="synth", scheme="none", window=30.0, warmup=5.0, workers=8,
+        spares=2, racks=2, seed=3, app_params={"topology": chain_topology()},
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def test_plan_splits_chains_and_cluster():
+    plan = plan_shards(shardable_config())
+    assert plan.n_shards == 2
+    assert plan.spans == ((0, 2), (2, 4))
+    for s, task in enumerate(plan.tasks):
+        assert task.config.racks == 1
+        assert task.config.workers == 4
+        topo = task.config.app_params["topology"]
+        assert all(stage["replicas"] == 2 for stage in topo["stages"])
+        assert all(stage["seed_base"] == plan.spans[s][0] for stage in topo["stages"])
+    # local replica j of shard 1 is global replica 2 + j
+    assert plan.tasks[1].id_map == {
+        "S0": "S2", "S1": "S3", "W0": "W2", "W1": "W3", "K0": "K2", "K1": "K3",
+    }
+
+
+def test_sharded_full_drain_matches_unsharded_per_hau_totals():
+    cfg = shardable_config()
+    base = run_experiment(cfg)
+    base_haus = {
+        h: hau.tuples_processed for h, hau in sorted(base.runtime.haus.items())
+    }
+    out = run_sharded(cfg, jobs=1)
+    shard_haus = {h: v["tuples"] for h, v in out["merged"]["haus"].items()}
+    assert shard_haus == base_haus
+    assert sum(base_haus.values()) > 0  # the drain moved real tuples
+
+
+def test_serial_and_pooled_shards_byte_identical():
+    cfg = shardable_config()
+    serial = run_sharded(cfg, jobs=1)
+    pooled = run_sharded(cfg, jobs=2)
+    assert canonical_json(serial) == canonical_json(pooled)
+
+
+def test_merged_trace_is_one_sorted_stream():
+    out = run_sharded(shardable_config(), jobs=1)
+    keys = [
+        (ev["t"], ev["shard"], ev["seq"])
+        for p in out["shards"]
+        for ev in p["trace"]
+    ]
+    # the merge itself is recomputable from the shard payloads
+    merged = merge_shards(out["shards"])
+    assert merged == out["merged"]
+    assert sorted(keys) == sorted(keys)  # total order exists (no ties needed)
+    assert out["merged"]["digest"] == merged["digest"]
+
+
+def test_rack_isolated_failures_route_to_owning_shard():
+    plan = plan_shards(
+        shardable_config(),
+        FailurePlan(events=[
+            PlannedFailure(at=12.0, kind="node", target="w3", cause="t"),
+            PlannedFailure(at=15.0, kind="straggler", target="spare0",
+                           factor=4.0, duration=2.0, cause="t"),
+            PlannedFailure(at=20.0, kind="rack", target="rack1", cause="t"),
+        ]),
+    )
+    # w3 -> rack 3 % 2 == 1, local w1; spare0 -> rack 0, local spare0
+    assert [(e.kind, e.target) for e in plan.tasks[0].failures] == [
+        ("straggler", "spare0"),
+    ]
+    assert [(e.kind, e.target) for e in plan.tasks[1].failures] == [
+        ("node", "w1"),
+        ("rack", "rack0"),
+    ]
+
+
+def test_sharded_run_with_rack_failure_completes_deterministically():
+    cfg = shardable_config(scheme="ms-src", n_checkpoints=1)
+    fp = FailurePlan(
+        events=[PlannedFailure(at=2.0, kind="node", target="w2", cause="t")]
+    )
+    one = run_sharded(cfg, fp, jobs=1)
+    two = run_sharded(cfg, fp, jobs=1)
+    assert canonical_json(one) == canonical_json(two)
+    # the failure only perturbed its owning shard
+    clean = run_sharded(cfg, jobs=1)
+    assert one["shards"][1]["digest"] == clean["shards"][1]["digest"]
+    assert one["shards"][0]["digest"] != clean["shards"][0]["digest"]
+
+
+@pytest.mark.parametrize(
+    "mutate, fragment",
+    [
+        (lambda t: t["stages"][0].update(replicas=3), "unequal replica"),
+        (lambda t: t["edges"][0].pop("pairing"), "pairing 'all'"),
+    ],
+)
+def test_non_shardable_topologies_rejected(mutate, fragment):
+    topo = chain_topology()
+    mutate(topo)
+    with pytest.raises(ShardingError, match=fragment):
+        plan_shards(shardable_config(app_params={"topology": topo}))
+
+
+def test_non_isolated_failure_plans_rejected():
+    cfg = shardable_config()
+    for event, fragment in [
+        (PlannedFailure(at=1.0, kind="partition", target="rack0"), "partition"),
+        (PlannedFailure(at=1.0, kind="node", target="storage"), "storage"),
+        (PlannedFailure(at=1.0, kind="rack", target="rack9"), "unknown rack"),
+    ]:
+        with pytest.raises(ShardingError, match=fragment):
+            plan_shards(cfg, FailurePlan(events=[event]))
+
+
+def test_non_synth_apps_rejected():
+    with pytest.raises(ShardingError, match="synth"):
+        plan_shards(ExperimentConfig(app="tmi", racks=2))
+
+
+def test_run_shard_payload_uses_global_ids():
+    plan = plan_shards(shardable_config())
+    payload = run_shard(plan.tasks[1])
+    assert set(payload["haus"]) == {"S2", "S3", "W2", "W3", "K2", "K3"}
+    assert all(ev["shard"] == 1 for ev in payload["trace"])
