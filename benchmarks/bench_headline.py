@@ -160,6 +160,40 @@ def test_trace_artifact(write_artifact):
         res.write_run_bundle(art_dir, name="BUNDLE_headline")
 
 
+def test_monitor_artifact(write_artifact):
+    """A monitored headline run: the live plane watches the same cell with
+    a deliberately tight checkpoint-staleness SLO, so every CI run ships a
+    fired-and-resolved alert log plus the per-HAU health timeline.  The
+    counts are deterministic; ``check_regression.py`` gates them warn-only
+    against the committed ``benchmarks/ALERTS_baseline.json``."""
+    from repro.harness import ExperimentConfig, run_experiment
+
+    cfg = ExperimentConfig(
+        app="tmi", scheme="ms-src+ap", n_checkpoints=2, window=60.0, warmup=20.0,
+        workers=8, spares=12, racks=2, seed=1, app_params={"n_minutes": 0.25},
+        monitor_period=1.0,
+        # staleness below the ~20s between rounds fires; latency relaxed so
+        # only the staleness SLO alerts here (mirrors slo-staleness-alert.yaml)
+        monitor_slos={"checkpoint-staleness": 12.0, "latency-p99": 60.0},
+    )
+    res = run_experiment(cfg)
+    alerts = res.alerts
+    assert alerts["ticks"] > 0, "monitored run should tick"
+    assert alerts["summary"]["fired"] > 0, "staleness SLO should fire between rounds"
+    assert alerts["summary"]["resolved"] > 0, "commits should resolve staleness alerts"
+    timeline = res.health_timeline
+    assert timeline, "monitored run should record health transitions"
+    write_artifact("ALERTS_headline.json", {
+        "mode": "full" if os.environ.get("REPRO_FULL") else "fast",
+        "period": alerts["period"],
+        "ticks": alerts["ticks"],
+        "summary": alerts["summary"],
+        "log_length": len(alerts["log"]),
+        "health_transitions": len(timeline),
+    })
+    write_artifact("HEALTH_headline.json", {"timeline": timeline})
+
+
 def test_telemetry_artifact(write_artifact):
     """A small telemetry-enabled run, exported as the deterministic JSON
     snapshot artifact (the metrics counterpart of the trace artifact)."""

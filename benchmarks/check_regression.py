@@ -44,12 +44,23 @@ warns rather than fails: the rates are host timing, and the batched
 event count is not digest-pinned — an intentional batched-path
 optimisation legitimately changes it.
 
+A sixth, **warn-only**, gate covers the monitored headline run
+(``ALERTS_headline.json``, written by ``bench_headline.py``) against the
+committed ``benchmarks/ALERTS_baseline.json``: any drift in the
+fired/resolved alert counts (total or per SLO kind), the alert-log
+length or the number of health-timeline transitions prints a warning.
+The counts are deterministic for a fixed config, so drift is a real
+behaviour change — but an intentional SLO-bound tweak produces the same
+signature, so the gate warns rather than fails while the monitoring
+plane is young.
+
 Usage::
 
     python benchmarks/check_regression.py artifacts/BENCH_headline.json \
         [--baseline benchmarks/BENCH_baseline.json] [--tolerance 0.15] \
         [--latency-tolerance 0.15] [--kernel artifacts/BENCH_kernel.json] \
-        [--wall-tolerance 0.5]
+        [--wall-tolerance 0.5] [--alerts artifacts/ALERTS_headline.json] \
+        [--alerts-baseline benchmarks/ALERTS_baseline.json]
 
 Every gate runs every time: a tripped throughput gate never hides the
 latency, kernel or critical-path verdicts — the FAIL summary lists all
@@ -350,6 +361,46 @@ def compare_scaling(
     return warnings
 
 
+def compare_alerts(
+    alerts: dict,
+    baseline_alerts: dict,
+) -> list[str]:
+    """Warn-only verdicts for the monitored headline run's alert counts.
+
+    Everything compared here is deterministic for a fixed config, but an
+    intentional SLO/bound change legitimately moves all of it — nothing
+    in this gate can change the exit status.
+    """
+    warnings: list[str] = []
+    if alerts.get("mode") != baseline_alerts.get("mode"):
+        warnings.append(
+            f"alerts: mode mismatch (current={alerts.get('mode')!r} "
+            f"baseline={baseline_alerts.get('mode')!r}), comparison skipped"
+        )
+        return warnings
+    b_sum = baseline_alerts.get("summary") or {}
+    c_sum = alerts.get("summary") or {}
+    for field_name in ("fired", "resolved", "active"):
+        b, c = b_sum.get(field_name), c_sum.get(field_name)
+        if b is not None and c is not None and b != c:
+            warnings.append(
+                f"alerts: {field_name} {c} vs baseline {b} (warn-only: "
+                "deterministic, so this is a behaviour or SLO-bound change)"
+            )
+    b_by = b_sum.get("by_slo") or {}
+    c_by = c_sum.get("by_slo") or {}
+    for slo in sorted(set(b_by) | set(c_by)):
+        if b_by.get(slo) != c_by.get(slo):
+            warnings.append(
+                f"alerts: {slo} {c_by.get(slo)} vs baseline {b_by.get(slo)} (warn-only)"
+            )
+    for field_name in ("ticks", "log_length", "health_transitions"):
+        b, c = baseline_alerts.get(field_name), alerts.get(field_name)
+        if b is not None and c is not None and b != c:
+            warnings.append(f"alerts: {field_name} {c} vs baseline {b} (warn-only)")
+    return warnings
+
+
 def _inspect_modules():
     """Lazily import repro.inspect (with a src/ fallback for bare checkouts).
 
@@ -430,6 +481,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scaling-speedup-floor", type=float, default=3.0,
                         help="warn-only floor for the largest-size batched "
                              "tuple-throughput speedup (default 3.0)")
+    parser.add_argument("--alerts", default=None,
+                        help="ALERTS_headline.json to check (default: sibling "
+                             "of current)")
+    parser.add_argument("--alerts-baseline",
+                        default=str(DEFAULT_BASELINE.parent / "ALERTS_baseline.json"),
+                        help="committed alert-count baseline "
+                             "(default: benchmarks/ALERTS_baseline.json)")
     parser.add_argument("--bundle", default=None,
                         help="candidate RunBundle directory for attributed "
                              "explanations (default: BUNDLE_headline next to current)")
@@ -497,6 +555,21 @@ def main(argv: list[str] | None = None) -> int:
         ))
     elif Path(args.scaling_baseline).is_file():
         notes.append(f"scaling: no {scaling_path}, scaling gate skipped")
+
+    # monitored headline run (entirely warn-only; see module docstring)
+    alerts_path = args.alerts or str(Path(args.current).parent / "ALERTS_headline.json")
+    if Path(args.alerts_baseline).is_file() and Path(alerts_path).is_file():
+        try:
+            with open(alerts_path, encoding="utf-8") as fh:
+                alerts = json.load(fh)
+            with open(args.alerts_baseline, encoding="utf-8") as fh:
+                baseline_alerts = json.load(fh)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_BAD_INVOCATION
+        notes.extend(compare_alerts(alerts, baseline_alerts))
+    elif Path(args.alerts_baseline).is_file():
+        notes.append(f"alerts: no {alerts_path}, alert gate skipped")
     print(f"regression check: {len(cell_throughput(baseline))} baseline cells, "
           f"throughput tolerance {args.tolerance:.0%}, "
           f"latency tolerance {args.latency_tolerance:.0%}")

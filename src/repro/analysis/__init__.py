@@ -26,6 +26,7 @@ from repro.analysis import (  # noqa: F401  (registration side effect)
     determinism,
     flow,
     inspect_rule,
+    monitor_rule,
     protocol,
     schema,
     scenarios,

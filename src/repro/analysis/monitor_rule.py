@@ -1,0 +1,183 @@
+"""MON001 — the monitoring vocabulary stays in sync with DESIGN.md.
+
+The monitoring plane has two enumerated vocabularies consumers key on:
+the SLO kinds (``SLO_KINDS`` in ``repro.monitor.slo`` — scenario
+``monitor.slos`` mappings, ``expect.alerts`` assertions and the
+``ms_alerts_*`` metric labels all use them verbatim) and the health
+states (``HEALTH_STATES`` in ``repro.monitor.health`` — every timeline
+row's ``from``/``to``).  DESIGN.md's "Live monitoring & SLOs" section
+documents both in small tables; MON001 diffs code against doc in both
+directions, the monitoring twin of TEL001/TRC001/INS001.
+
+All checks are AST/text-only (nothing is imported), so the rule works
+on broken trees too.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from repro.analysis.engine import ModuleContext, const_str
+from repro.analysis.findings import Severity
+from repro.analysis.registry import Rule, register
+
+_BACKTICK_RE = re.compile(r"`([^`]+)`")
+_WORD_RE = re.compile(r"^[a-z][a-z0-9-]*$")
+
+# (variable name, path suffix its authoritative declaration lives under)
+_TRACKED = {
+    "SLO_KINDS": "monitor/slo.py",
+    "HEALTH_STATES": "monitor/health.py",
+}
+
+# DESIGN.md subsection headers (### ...) -> which vocabulary its table
+# documents.  Both live under the "## Live monitoring & SLOs" section.
+_SUBSECTIONS = {
+    "slo kinds": "SLO_KINDS",
+    "health states": "HEALTH_STATES",
+}
+
+
+def parse_monitor_schema(text: str) -> dict[str, dict[str, int]]:
+    """``{"SLO_KINDS": {token: lineno}, "HEALTH_STATES": {...}}`` from
+    the DESIGN.md "Live monitoring & SLOs" section.
+
+    Only the first table cell of each row is read (later cells are
+    prose), and only under the matching ``###`` subsection, so SLO
+    bounds or state descriptions never count as vocabulary.
+    """
+    documented: dict[str, dict[str, int]] = {name: {} for name in _TRACKED}
+    in_section = False
+    current: str | None = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.startswith("## ") and not line.startswith("### "):
+            in_section = "live monitoring" in line.lower()
+            current = None
+            continue
+        if not in_section:
+            continue
+        if line.startswith("### "):
+            header = line[4:].strip().lower()
+            current = next(
+                (var for key, var in _SUBSECTIONS.items() if key in header), None
+            )
+            continue
+        if current is None or not line.lstrip().startswith("|"):
+            continue
+        cells = line.split("|")
+        first = cells[1] if len(cells) > 1 else ""
+        for tok in _BACKTICK_RE.findall(first):
+            if _WORD_RE.match(tok):
+                documented[current].setdefault(tok, lineno)
+    return documented
+
+
+@dataclass
+class _Decl:
+    relpath: str
+    lineno: int
+    lines: dict[str, int]  # token -> lineno
+
+
+@register
+class MonitorSchemaRule(Rule):
+    """MON001 — SLO kinds / health states match the DESIGN.md tables."""
+
+    id = "MON001"
+    extra_dirs_ok = False  # inventory sync vs DESIGN.md: test doubles would poison it
+    title = "monitoring vocabularies stay in sync with DESIGN.md"
+    rationale = (
+        "scenario documents, expect.alerts assertions and the ms_alerts_* "
+        "metric labels consume SLO kinds verbatim, and health timelines "
+        "are diffed by state name; a vocabulary entry missing from the "
+        "DESIGN.md tables is an untracked contract change, and a "
+        "documented-but-dead entry means authors write scenarios against "
+        "states that can never occur"
+    )
+    severity = Severity.ERROR
+    node_types = (ast.Assign,)
+
+    def __init__(self) -> None:
+        self._decls: dict[str, _Decl] = {}
+
+    def visit(self, ctx: ModuleContext, node: ast.Assign) -> None:
+        if len(node.targets) != 1:
+            return
+        target = node.targets[0]
+        if not isinstance(target, ast.Name) or target.id not in _TRACKED:
+            return
+        if not ctx.relpath.replace("\\", "/").endswith(_TRACKED[target.id]):
+            return
+        if not isinstance(node.value, (ast.Tuple, ast.List)):
+            ctx.report(
+                self,
+                node,
+                f"`{target.id}` must be a literal tuple/list of string "
+                "constants so the vocabulary stays statically checkable",
+            )
+            return
+        lines: dict[str, int] = {}
+        for elt in node.value.elts:
+            token = const_str(elt)
+            if token is None:
+                ctx.report(
+                    self,
+                    elt,
+                    f"non-literal entry in `{target.id}` — vocabulary entries "
+                    "must be string constants",
+                )
+                continue
+            lines[token] = elt.lineno
+        if target.id not in self._decls:
+            self._decls[target.id] = _Decl(ctx.relpath, node.lineno, lines)
+
+    def finalize(self, project) -> None:
+        text = project.design_text()
+        if not self._decls:
+            return
+        if text is None:
+            decl = min(self._decls.values(), key=lambda d: d.relpath)
+            project.report(
+                self,
+                path=decl.relpath,
+                line=decl.lineno,
+                col=1,
+                message=(
+                    "monitoring vocabularies are declared but DESIGN.md "
+                    "(live monitoring & SLOs) was not found"
+                ),
+                severity=Severity.WARNING,
+            )
+            return
+        documented = parse_monitor_schema(text)
+        design = project.design_relpath()
+        for var in sorted(self._decls):
+            decl = self._decls[var]
+            table = documented.get(var, {})
+            for token in sorted(set(decl.lines) - set(table)):
+                project.report(
+                    self,
+                    path=decl.relpath,
+                    line=decl.lines[token],
+                    col=1,
+                    message=(
+                        f"`{token}` is declared in {var} but not documented in "
+                        "the DESIGN.md live-monitoring tables"
+                    ),
+                )
+            for token in sorted(set(table) - set(decl.lines)):
+                project.report(
+                    self,
+                    path=design,
+                    line=table[token],
+                    col=1,
+                    message=(
+                        f"`{token}` is documented in DESIGN.md but absent from "
+                        f"{var} ({decl.relpath})"
+                    ),
+                )
+
+
+__all__ = ["MonitorSchemaRule", "parse_monitor_schema"]

@@ -51,6 +51,10 @@ def config_fingerprint(cfg: ExperimentConfig) -> dict[str, Any]:
     # non-default value genuinely changes behaviour and must fingerprint.
     if out.get("batch_quantum") == 0.0:
         del out["batch_quantum"]
+    if out.get("monitor_period") == 0.0:
+        del out["monitor_period"]
+    if out.get("monitor_slos") == {}:
+        del out["monitor_slos"]
     # app_params values are scalars/lists in every driver; round-trip
     # through canonical JSON to fail loudly on anything exotic.
     canonical_json(out)

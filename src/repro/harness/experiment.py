@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.apps import APPS
 from repro.cluster.topology import ClusterSpec
@@ -35,6 +35,9 @@ from repro.telemetry import (
     snapshot,
     write_snapshot,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitor.plane import MonitorPlane
 
 FULL_SCALE = bool(int(os.environ.get("REPRO_FULL", "0")))
 DEFAULT_WINDOW = 600.0 if FULL_SCALE else 150.0
@@ -63,12 +66,26 @@ class ExperimentConfig:
     enable_recovery: bool = False
     costs: CostModel | None = None
     batch_quantum: float = DEFAULT_BATCH_QUANTUM
+    # Live monitoring plane (repro.monitor): 0 = off, the digest-pinned
+    # default.  ``monitor_slos`` maps SLO kind -> bound override.
+    monitor_period: float = 0.0
+    monitor_slos: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self):
         if self.app not in APPS:
             raise ValueError(f"unknown app {self.app!r}; choose from {sorted(APPS)}")
         if self.scheme not in SCHEME_NAMES:
             raise ValueError(f"unknown scheme {self.scheme!r}")
+        if self.monitor_period < 0:
+            raise ValueError(f"monitor_period must be >= 0, got {self.monitor_period!r}")
+        if self.monitor_slos:
+            from repro.monitor.slo import SLO_KINDS
+
+            unknown = sorted(set(self.monitor_slos) - set(SLO_KINDS))
+            if unknown:
+                raise ValueError(
+                    f"unknown SLO kind(s) in monitor_slos: {', '.join(unknown)}"
+                )
 
     @property
     def end(self) -> float:
@@ -97,6 +114,19 @@ class ExperimentResult:
     telemetry: MetricRegistry | None = None
     telemetry_sampler: Sampler | None = None
     latency_percentiles: dict[str, float] = field(default_factory=dict)
+    monitor: "MonitorPlane | None" = None
+
+    # -- monitoring plane access (cfg.monitor_period > 0) ------------------
+    @property
+    def alerts(self) -> dict:
+        """The run's alert block (period, ticks, summary, log) — ``{}``
+        when the run was unmonitored."""
+        return self.monitor.as_dict() if self.monitor is not None else {}
+
+    @property
+    def health_timeline(self) -> list[dict]:
+        """Per-HAU/per-rack health transitions — ``[]`` when unmonitored."""
+        return list(self.monitor.health.timeline) if self.monitor is not None else []
 
     @property
     def checkpoint_logs(self):
@@ -326,9 +356,12 @@ def run_experiment(
     :class:`~repro.telemetry.sampler.Sampler`; the result's
     ``telemetry_snapshot()`` / ``write_telemetry()`` expose the metrics.
     """
+    monitor_on = cfg.monitor_period > 0.0
     env = Environment()
-    tracer = env.enable_tracing() if trace else None
-    registry = env.enable_telemetry() if telemetry else None
+    # The monitoring plane reads trace events and registry metrics, so a
+    # monitored run enables both (and exposes them on the result).
+    tracer = env.enable_tracing() if (trace or monitor_on) else None
+    registry = env.enable_telemetry() if (telemetry or monitor_on) else None
     builder = APPS[cfg.app]
     app = builder.build(seed=cfg.seed, **cfg.app_params)
     runtime = DSPSRuntime(
@@ -347,6 +380,17 @@ def run_experiment(
         ),
     )
     runtime.start()
+    monitor = None
+    if monitor_on:
+        from repro.monitor.plane import MonitorPlane
+        from repro.monitor.slo import default_slos
+
+        monitor = MonitorPlane(
+            cfg.monitor_period,
+            slos=default_slos(cfg.monitor_slos or None),
+            racks={hid: h.node.rack for hid, h in runtime.haus.items()},
+            nodes={hid: h.node.node_id for hid, h in runtime.haus.items()},
+        ).attach(env)
     if failure_plan is not None and failure_plan.events:
         FailureInjector(env, runtime.dc, failure_plan).start()
     state_trace = StateTraceRecorder(runtime) if trace_state else None
@@ -400,6 +444,7 @@ def run_experiment(
         telemetry=registry,
         telemetry_sampler=sampler,
         latency_percentiles=percentiles,
+        monitor=monitor,
     )
 
 

@@ -57,7 +57,9 @@ from repro.telemetry.registry import MetricRegistry
 # v3: cells carry declarative failure traces (scenario DSL) in their key.
 # v4: cells carry phase-span totals, per-round critical-path hops and
 #     stragglers (the RunBundle content — see repro.inspect.bundle).
-PAYLOAD_VERSION = 4
+# v5: cells carry the monitoring plane's alert block and health timeline
+#     (empty when cfg.monitor_period == 0 — see repro.monitor).
+PAYLOAD_VERSION = 5
 
 
 def default_jobs() -> int:
@@ -247,6 +249,8 @@ def reduce_result(result: ExperimentResult, spec: CellSpec | None = None) -> dic
         "phase_spans": phase_spans,
         "stragglers": stragglers,
         "binned_latency": binned,
+        "alerts": result.alerts,
+        "health_timeline": result.health_timeline,
         "digest": result_digest(result),
         "kernel": result.runtime.env.kernel_stats(),
     }

@@ -17,6 +17,7 @@ Layout (one directory per bundle)::
       phases.json          phase-span totals + per-HAU breakdown
       critical_paths.json  per-round seconds, gating HAU, hop chain
       timeline.json        checkpoint summary, recovery, stragglers
+      alerts.json          SLO alert log + health timeline (repro.monitor)
       telemetry.json       metric snapshot (experiment bundles only)
 
 Every file is canonical JSON (sorted keys, no whitespace drift) with a
@@ -40,7 +41,11 @@ from typing import Any
 
 from repro.harness.digest import canonical_json
 
-BUNDLE_VERSION = 1
+# v2: bundles carry alerts.json (SLO alert log + health timeline —
+# empty for unmonitored runs).  read_bundle still accepts v1 bundles,
+# defaulting the section.
+BUNDLE_VERSION = 2
+_READABLE_VERSIONS = frozenset({1, 2})
 
 # Per-HAU checkpoint phase spans a bundle attributes time to.  MUST
 # match repro.profiling.spans.PHASES and the DESIGN.md "Run bundles &
@@ -57,8 +62,13 @@ _SECTION_FILES = (
     "phases.json",
     "critical_paths.json",
     "timeline.json",
+    "alerts.json",
     "telemetry.json",
 )
+
+# What alerts.json holds when the run was unmonitored (and what a v1
+# bundle reads back as).
+EMPTY_ALERTS = {"alerts": {}, "health_timeline": []}
 
 
 class BundleError(ValueError):
@@ -100,6 +110,10 @@ def build_bundle(
             "checkpoint": payload.get("checkpoint"),
             "recovery": payload.get("recovery"),
             "stragglers": payload.get("stragglers") or [],
+        },
+        "alerts.json": {
+            "alerts": payload.get("alerts") or {},
+            "health_timeline": payload.get("health_timeline") or [],
         },
         "telemetry.json": telemetry,
     }
@@ -171,10 +185,11 @@ def read_bundle(path: Path | str, verify: bool = True) -> dict[str, Any]:
         raise BundleError(f"{directory}: not a bundle directory ({exc})") from exc
     except ValueError as exc:
         raise BundleError(f"{manifest_path}: invalid JSON ({exc})") from exc
-    if manifest.get("bundle_version") != BUNDLE_VERSION:
+    version = manifest.get("bundle_version")
+    if version not in _READABLE_VERSIONS:
         raise BundleError(
-            f"{directory}: bundle_version {manifest.get('bundle_version')!r} "
-            f"(this build reads version {BUNDLE_VERSION})"
+            f"{directory}: bundle_version {version!r} "
+            f"(this build reads versions {sorted(_READABLE_VERSIONS)})"
         )
     files: dict[str, Any] = {}
     for filename in _SECTION_FILES:
@@ -182,6 +197,9 @@ def read_bundle(path: Path | str, verify: bool = True) -> dict[str, Any]:
         try:
             raw = file_path.read_bytes()
         except OSError as exc:
+            if filename == "alerts.json" and version == 1:
+                files[filename] = {"alerts": {}, "health_timeline": []}
+                continue
             raise BundleError(f"{directory}: missing section {filename}") from exc
         if verify:
             want = manifest.get("files", {}).get(filename)

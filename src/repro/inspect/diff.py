@@ -77,6 +77,29 @@ def _hau_totals(phases: dict[str, Any] | None) -> dict[str, float]:
     return out
 
 
+def _alert_totals(section: dict[str, Any] | None) -> dict[str, float]:
+    """Alert counts keyed ``slo:action`` from a bundle's alerts.json."""
+    summary = ((section or {}).get("alerts") or {}).get("summary") or {}
+    out: dict[str, float] = {}
+    for slo, bucket in (summary.get("by_slo") or {}).items():
+        for action in ("fired", "resolved"):
+            count = bucket.get(action, 0)
+            if count:
+                out[f"{slo}:{action}"] = float(count)
+    return out
+
+
+def _alert_summary(section: dict[str, Any] | None) -> dict[str, float | None]:
+    alerts = (section or {}).get("alerts") or {}
+    summary = alerts.get("summary") or {}
+    return {
+        "fired": _num(summary, "fired"),
+        "resolved": _num(summary, "resolved"),
+        "active": _num(summary, "active"),
+        "health_transitions": float(len((section or {}).get("health_timeline") or [])),
+    }
+
+
 def _straggler_keys(timeline: dict[str, Any] | None) -> list[str]:
     return sorted(
         f"{s['round']}:{s['hau']}" for s in (timeline or {}).get("stragglers", [])
@@ -98,6 +121,7 @@ def top_movers(
         ("hau", diff.get("haus", {})),
         ("hop", diff.get("hops", {})),
         ("hop-subject", diff.get("hop_subjects", {})),
+        ("alert", diff.get("alerts", {})),
     ):
         for name, entry in table.items():
             delta = entry.get("delta")
@@ -140,14 +164,22 @@ def diff_bundles(
     b_phases = (bf["phases.json"] or {}).get("totals") or {}
     a_strag = _straggler_keys(af["timeline.json"])
     b_strag = _straggler_keys(bf["timeline.json"])
+    a_alerts = af.get("alerts.json")
+    b_alerts = bf.get("alerts.json")
+    a_asum, b_asum = _alert_summary(a_alerts), _alert_summary(b_alerts)
 
     diff: dict[str, Any] = {
         "kind": "bundle-diff",
         "a": a_meta,
         "b": b_meta,
+        # The determinism digest covers the workload's physics only; the
+        # monitoring plane rides outside it (that's what makes it a pure
+        # observer), so "identical" must also compare the alert sections
+        # or a monitor-only change would short-circuit the explainer.
         "identical": bool(
             a_meta.get("digest") is not None
             and a_meta.get("digest") == b_meta.get("digest")
+            and a_alerts == b_alerts
         ),
         "same_workload": all(
             a_meta.get(k) == b_meta.get(k) for k in ("app", "scheme", "n_checkpoints")
@@ -168,6 +200,10 @@ def diff_bundles(
                 _num(acp, "mean_seconds"), _num(bcp, "mean_seconds")
             ),
         },
+        "alert_summary": {
+            key: _entry(a_asum[key], b_asum[key]) for key in sorted(a_asum)
+        },
+        "alerts": _dim_entries(_alert_totals(a_alerts), _alert_totals(b_alerts)),
         "phases": _dim_entries(a_phases, b_phases),
         "haus": _dim_entries(_hau_totals(af["phases.json"]), _hau_totals(bf["phases.json"])),
         "hops": _dim_entries(a_kinds, b_kinds),

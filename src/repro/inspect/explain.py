@@ -84,7 +84,7 @@ def explain_diff(diff: dict[str, Any], limit: int = 5) -> list[str]:
     lines: list[str] = []
     if kind == "bundle-diff":
         if diff.get("identical"):
-            return ["bundles are identical (determinism digests match)"]
+            return ["bundles are identical (determinism digests and alert sections match)"]
         if not diff.get("same_workload", True):
             lines.append(
                 "note: bundles come from different workloads "
@@ -106,6 +106,14 @@ def explain_diff(diff: dict[str, Any], limit: int = 5) -> list[str]:
             flagged = stragglers.get(key, [])
             if flagged:
                 lines.append(f"stragglers {label}: {', '.join(flagged)}")
+        alert_lines = [
+            f"  {name}: {_g(entry['a'])} -> {_g(entry['b'])} ({_signed(entry['delta'])})"
+            for name, entry in diff.get("alerts", {}).items()
+            if entry.get("delta")
+        ]
+        if alert_lines:
+            lines.append("alert counts (slo:action):")
+            lines.extend(alert_lines)
     elif kind.endswith("-report-diff"):
         movers = diff.get("top_movers", [])[:limit]
         for m in movers:
@@ -187,6 +195,19 @@ def _render_bundle_diff(diff: dict[str, Any], limit: int) -> str:
                     for m in movers
                 ],
                 title="top movers",
+            )
+        )
+    alert_rows = [
+        _entry_row(name, entry)
+        for name, entry in diff.get("alerts", {}).items()
+        if entry.get("delta")
+    ]
+    if alert_rows:
+        blocks.append(
+            format_table(
+                ["slo:action", "a", "b", "delta"],
+                alert_rows,
+                title="alert counts",
             )
         )
     stragglers = diff.get("stragglers", {})

@@ -56,6 +56,8 @@ KINDS = (
     "aa.turning_point",  # controller processed a turning-point report
     "aa.alert.enter",  # total dynamic state dropped below smax
     "aa.decision",  # MS-aa chose a checkpoint instant (icr | deadline)
+    "alert.fire",  # an SLO's burn rate crossed threshold in both windows
+    "alert.resolve",  # a firing SLO's fast-window burn rate dropped back
 )
 
 

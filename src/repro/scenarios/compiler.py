@@ -83,6 +83,7 @@ def compile_scenario(doc: dict[str, Any], source: str = "<scenario>") -> Compile
     check(doc, source)
     cluster = {**DEFAULT_CLUSTER, **doc.get("cluster", {})}
     run = {**DEFAULT_RUN, **doc.get("run", {})}
+    monitor = doc.get("monitor")
     app = doc["app"]
     cfg = ExperimentConfig(
         app=app["name"],
@@ -96,6 +97,10 @@ def compile_scenario(doc: dict[str, Any], source: str = "<scenario>") -> Compile
         racks=cluster["racks"],
         app_params=dict(app.get("params", {})),
         enable_recovery=run["recovery"],
+        monitor_period=float(monitor.get("period", 1.0)) if monitor else 0.0,
+        monitor_slos={k: float(v) for k, v in (monitor.get("slos") or {}).items()}
+        if monitor
+        else {},
     )
     spec = CellSpec(config=cfg, failure_trace=_lower_failures(doc.get("failures")))
     return CompiledScenario(scenario_id=doc["id"], doc=doc, spec=spec)
@@ -127,4 +132,22 @@ def check_expectations(doc: dict[str, Any], payload: dict[str, Any]) -> list[str
         failures.append(
             f"expected throughput >= {expect['min_throughput']}, "
             f"got {payload['throughput']}")
+    for want in expect.get("alerts") or []:
+        log = (payload.get("alerts") or {}).get("log") or []
+        matching = [
+            row
+            for row in log
+            if row["slo"] == want["slo"]
+            and ("subject" not in want or row["subject"] == want["subject"])
+        ]
+        label = want["slo"] + (f"/{want['subject']}" if "subject" in want else "")
+        for action, key in (("fire", "fired"), ("resolve", "resolved")):
+            if key not in want:
+                continue
+            got = sum(1 for row in matching if row["action"] == action)
+            if got < want[key]:
+                failures.append(
+                    f"expected >= {want[key]} {key} alert(s) for {label}, got {got}"
+                    + ("" if (payload.get("alerts") or {}).get("log") is not None
+                       else " (run was not monitored — add a monitor section)"))
     return failures

@@ -22,10 +22,15 @@ table)::
     failures:                        # optional list of PlannedFailure rows
       - {at: 20.0, kind: rack, target: rack1, cause: power}
       - {at: 22.0, kind: partition, target: rack0, duration: 6.0, factor: 200.0}
+    monitor:                         # optional live monitoring plane
+      period: 1.0                    # tick period (sim seconds)
+      slos: {checkpoint-staleness: 12.0}   # SLO kind -> bound override
     expect:                          # optional outcome assertions
       min_rounds: 1
       recovers: true
       min_throughput: 1000
+      alerts:                        # needs monitor; minimum alert counts
+        - {slo: checkpoint-staleness, fired: 1, resolved: 1}
 
 Validation never raises on the first problem: :func:`validate` walks the
 whole document and returns every :class:`SchemaError`, each carrying a
@@ -49,6 +54,7 @@ from repro.apps import APPS
 from repro.apps.synth import TopologyError, _check_topology
 from repro.failures.injector import FAILURE_KINDS
 from repro.harness.experiment import SCHEME_NAMES
+from repro.monitor.slo import SLO_KINDS
 
 VERSION = 1
 
@@ -65,6 +71,7 @@ TOP_LEVEL_FIELDS = (
     "run",
     "scheme",
     "failures",
+    "monitor",
     "expect",
 )
 REQUIRED_FIELDS = ("id", "version", "app", "scheme")
@@ -72,7 +79,9 @@ APP_FIELDS = ("name", "params")
 CLUSTER_FIELDS = ("workers", "spares", "racks")
 RUN_FIELDS = ("window", "warmup", "n_checkpoints", "recovery")
 FAILURE_FIELDS = ("at", "kind", "target", "cause", "duration", "factor")
-EXPECT_FIELDS = ("min_rounds", "recovers", "min_throughput")
+MONITOR_FIELDS = ("period", "slos")
+EXPECT_FIELDS = ("min_rounds", "recovers", "min_throughput", "alerts")
+ALERT_EXPECT_FIELDS = ("slo", "subject", "fired", "resolved")
 
 # Scenarios drive schemes that run unattended; "oracle" needs observed
 # per-run checkpoint instants (find_oracle_times), so it stays a
@@ -245,6 +254,56 @@ def _validate_failures(failures: Any, shape: dict[str, int],
                 errors.append(SchemaError(f"{path}.{key}", f"must be {rule}"))
 
 
+def _validate_monitor(monitor: Any, errors: list[SchemaError]) -> None:
+    if monitor is None:
+        return
+    if not isinstance(monitor, dict):
+        errors.append(SchemaError("monitor", "must be a mapping {period, slos}"))
+        return
+    _unknown_keys(monitor, MONITOR_FIELDS, "monitor", errors)
+    if "period" in monitor and (not _is_number(monitor["period"]) or monitor["period"] <= 0):
+        errors.append(SchemaError("monitor.period", "must be a number > 0 (sim seconds)"))
+    slos = monitor.get("slos")
+    if slos is None:
+        return
+    if not isinstance(slos, dict):
+        errors.append(SchemaError("monitor.slos", "must be a mapping of SLO kind -> bound"))
+        return
+    for kind in sorted(slos):
+        if kind not in SLO_KINDS:
+            errors.append(SchemaError(
+                f"monitor.slos.{kind}",
+                f"unknown SLO kind; choose from {', '.join(SLO_KINDS)}"))
+        elif not _is_number(slos[kind]) or slos[kind] <= 0:
+            errors.append(SchemaError(f"monitor.slos.{kind}", "must be a number > 0 (seconds)"))
+
+
+def _validate_alert_expectations(alerts: Any, errors: list[SchemaError]) -> None:
+    if not isinstance(alerts, list):
+        errors.append(SchemaError("expect.alerts", "must be a list of alert assertions"))
+        return
+    for i, row in enumerate(alerts):
+        path = f"expect.alerts[{i}]"
+        if not isinstance(row, dict):
+            errors.append(SchemaError(path, "must be a mapping {slo, subject, fired, resolved}"))
+            continue
+        _unknown_keys(row, ALERT_EXPECT_FIELDS, path, errors)
+        slo = row.get("slo")
+        if slo not in SLO_KINDS:
+            errors.append(SchemaError(
+                f"{path}.slo", f"unknown SLO kind {slo!r}; choose from {', '.join(SLO_KINDS)}"))
+        if "subject" in row and not isinstance(row["subject"], str):
+            errors.append(SchemaError(f"{path}.subject", "must be an HAU id string"))
+        if "fired" not in row and "resolved" not in row:
+            errors.append(SchemaError(
+                path, "must assert at least one of fired / resolved (minimum counts)"))
+        for key in ("fired", "resolved"):
+            if key in row:
+                n = row[key]
+                if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+                    errors.append(SchemaError(f"{path}.{key}", "must be an integer >= 0"))
+
+
 def _validate_expect(expect: Any, errors: list[SchemaError]) -> None:
     if expect is None:
         return
@@ -261,6 +320,8 @@ def _validate_expect(expect: Any, errors: list[SchemaError]) -> None:
     if "min_throughput" in expect and (
             not _is_number(expect["min_throughput"]) or expect["min_throughput"] < 0):
         errors.append(SchemaError("expect.min_throughput", "must be a number >= 0 (tuples)"))
+    if "alerts" in expect:
+        _validate_alert_expectations(expect["alerts"], errors)
 
 
 def validate(doc: Any) -> list[SchemaError]:
@@ -292,6 +353,7 @@ def validate(doc: Any) -> list[SchemaError]:
     shape = _validate_cluster(doc.get("cluster"), errors)
     _validate_run(doc.get("run"), errors)
     _validate_failures(doc.get("failures"), shape, errors)
+    _validate_monitor(doc.get("monitor"), errors)
     _validate_expect(doc.get("expect"), errors)
     return errors
 

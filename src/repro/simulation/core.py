@@ -32,9 +32,13 @@ from repro.telemetry.registry import NULL_REGISTRY, MetricRegistry
 
 # Event scheduling priorities.  URGENT is used internally for process
 # resumption bookkeeping so that, at a given instant, state mutations
-# settle before ordinary events fire.
+# settle before ordinary events fire.  MONITOR sorts *after* every
+# workload event at the same instant: the observability plane
+# (repro.monitor) evaluates its windows only once the instant has fully
+# settled, so monitoring can never perturb workload event order.
 URGENT = 0
 NORMAL = 1
+MONITOR = 2
 
 # Scheduler backend for new environments: the binary heap (default, the
 # digest-pinned fast path) or the calendar queue (REPRO_SCHED=calendar;

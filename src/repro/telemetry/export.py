@@ -57,7 +57,26 @@ def read_snapshot(path: str) -> dict[str, Any]:
 
 
 def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash, double
+    quote and newline (in that order, so the escapes themselves survive)."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping per the exposition format (no quote escaping)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+# ``# HELP`` docstrings for the metric families whose meaning is not
+# obvious from the ``ms_<subsystem>_<what>`` name alone — today the
+# monitoring plane's alert/window families (see repro.monitor).
+HELP_TEXT = {
+    "ms_alerts_fired_total": "SLO burn-rate alerts fired, by SLO kind",
+    "ms_alerts_resolved_total": "SLO burn-rate alerts resolved, by SLO kind",
+    "ms_alerts_active": "currently-firing SLO alerts",
+    "ms_monitor_ticks_total": "monitoring-plane window evaluations",
+    "ms_monitor_samples_total": "SLO samples folded into burn-rate windows",
+}
 
 
 def _label_str(labels: dict[str, str] | tuple, extra: dict[str, str] | None = None) -> str:
@@ -86,11 +105,18 @@ def to_prometheus(registry: RegistryLike) -> str:
     """
     lines: list[str] = []
     typed: set[str] = set()
+
+    def _header(name: str, kind: str) -> None:
+        help_text = HELP_TEXT.get(name)
+        if help_text is not None:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        typed.add(name)
+
     for metric in registry.metrics():
         if isinstance(metric, Histogram):
             if metric.name not in typed:
-                lines.append(f"# TYPE {metric.name} summary")
-                typed.add(metric.name)
+                _header(metric.name, "summary")
             for key, value in sorted(metric.quantiles().items()):
                 q = int(key[1:]) / 100.0
                 lines.append(
@@ -105,8 +131,7 @@ def to_prometheus(registry: RegistryLike) -> str:
             )
         else:
             if metric.name not in typed:
-                lines.append(f"# TYPE {metric.name} {metric.kind}")
-                typed.add(metric.name)
+                _header(metric.name, metric.kind)
             lines.append(
                 f"{metric.name}{_label_str(metric.labels)} {_fmt_value(metric.value)}"
             )

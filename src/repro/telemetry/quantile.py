@@ -7,12 +7,18 @@ what :class:`~repro.telemetry.registry.Histogram` uses for p50/p95/p99,
 so a telemetry run never accumulates unbounded per-tuple latency lists.
 
 ``exact_percentile`` is the reference implementation (sorted sample,
-linear interpolation) used for small samples, for the MetricsHub's
-exact percentile methods, and by the tests that bound the P² error.
+linear interpolation) used for the MetricsHub's exact percentile
+methods and by the tests that bound the P² error.
+``nearest_rank_percentile`` is the exact order statistic the estimator
+reports while fewer observations than markers have arrived: with a
+3-sample window, p99 is the 3rd order statistic — an actual observed
+value, never an interpolation past the sample (monitor windows are
+routinely this sparse).
 """
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 
 
@@ -34,6 +40,24 @@ def exact_percentile(sorted_values: Sequence[float], q: float) -> float:
     hi = min(lo + 1, n - 1)
     frac = pos - lo
     return float(sorted_values[lo]) * (1.0 - frac) + float(sorted_values[hi]) * frac
+
+
+def nearest_rank_percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank order statistic of an ascending-sorted sample.
+
+    The smallest observed value v such that at least ``q`` of the sample
+    is <= v (``ceil(q * n)``-th order statistic; 0.0 for an empty
+    sample).  Always returns an actual observation — the right answer
+    for tail quantiles of tiny samples, where interpolation invents
+    values nobody measured.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile fraction must be in [0, 1], got {q!r}")
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0
+    rank = max(1, math.ceil(q * n))
+    return float(sorted_values[rank - 1])
 
 
 class P2Quantile:
@@ -113,11 +137,17 @@ class P2Quantile:
         return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
 
     def value(self) -> float:
-        """The current estimate (exact while count <= 5; 0.0 when empty)."""
+        """The current estimate (exact while count <= 5; 0.0 when empty).
+
+        The small-sample path reports the nearest-rank order statistic —
+        an actual observation — rather than interpolating: p99 of a
+        3-sample window is its maximum, not a value 2% below it that
+        was never measured.  Monitor windows are routinely this sparse.
+        """
         if self.count == 0:
             return 0.0
         if self.count <= 5:
-            return exact_percentile(sorted(self._first), self.p)
+            return nearest_rank_percentile(sorted(self._first), self.p)
         return self._q[2]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

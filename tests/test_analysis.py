@@ -1428,3 +1428,119 @@ def test_live_tree_ins001_clean():
     config = AnalysisConfig(root=root, dirs=("src",), rule_ids=("INS001",))
     project = run_analysis(config)
     assert [f.message for f in project.findings] == []
+
+
+# ---------------------------------------------------------------------------
+# MON001 — monitoring vocabulary sync (SLO kinds / health states / DESIGN.md)
+# ---------------------------------------------------------------------------
+
+_MON_SLO = """
+    SLO_KINDS = ("latency-p99", "checkpoint-staleness")
+"""
+
+_MON_HEALTH = """
+    HEALTH_STATES = ("healthy", "degraded")
+"""
+
+_MON_DESIGN = """
+    ## Live monitoring & SLOs (repro.monitor)
+
+    ### SLO kinds
+
+    | kind | signal |
+    |---|---|
+    | `latency-p99` | p99 of `ms_hau_tuple_latency_seconds` |
+    | `checkpoint-staleness` | seconds since last commit |
+
+    ### Health states
+
+    | state | meaning |
+    |---|---|
+    | `healthy` | fine — prose mentions of `latency-p99` never count |
+    | `degraded` | a sample went over bound |
+"""
+
+
+def _mon_fixture(tmp_path, slo=_MON_SLO, health=_MON_HEALTH, design=_MON_DESIGN):
+    return run_fixture(
+        tmp_path,
+        {
+            "src/repro/monitor/slo.py": slo,
+            "src/repro/monitor/health.py": health,
+        },
+        design=design,
+        rule_ids=["MON001"],
+    )
+
+
+def test_mon001_quiet_when_in_sync(tmp_path):
+    assert rules_of(_mon_fixture(tmp_path)) == []
+
+
+def test_mon001_declared_but_undocumented(tmp_path):
+    slo = _MON_SLO.replace('"checkpoint-staleness")', '"checkpoint-staleness", "recovery-time")')
+    project = _mon_fixture(tmp_path, slo=slo)
+    messages = [f.message for f in project.findings]
+    assert any("`recovery-time`" in m and "not documented" in m for m in messages)
+
+
+def test_mon001_documented_but_undeclared(tmp_path):
+    design = _MON_DESIGN + "    | `recovering` | documented only |\n"
+    project = _mon_fixture(tmp_path, design=design)
+    findings = [f for f in project.findings if f.rule == "MON001"]
+    assert len(findings) == 1
+    assert "`recovering`" in findings[0].message
+    assert "HEALTH_STATES" in findings[0].message
+    assert findings[0].path.endswith("DESIGN.md")
+
+
+def test_mon001_first_cell_and_subsection_scoping():
+    from repro.analysis.monitor_rule import parse_monitor_schema
+
+    documented = parse_monitor_schema(textwrap.dedent(_MON_DESIGN))
+    assert set(documented["SLO_KINDS"]) == {"latency-p99", "checkpoint-staleness"}
+    assert set(documented["HEALTH_STATES"]) == {"healthy", "degraded"}
+    # nothing documented outside the live-monitoring section
+    assert parse_monitor_schema("## Other\n| `healthy` | x |\n") == {
+        "SLO_KINDS": {},
+        "HEALTH_STATES": {},
+    }
+
+
+def test_mon001_non_literal_vocabulary_rejected(tmp_path):
+    project = _mon_fixture(tmp_path, health="HEALTH_STATES = tuple(x for x in y)\n")
+    messages = [f.message for f in project.findings]
+    assert any("literal tuple/list" in m for m in messages)
+
+
+def test_mon001_warns_when_design_missing(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {"src/repro/monitor/slo.py": _MON_SLO},
+        rule_ids=["MON001"],
+    )
+    findings = [f for f in project.findings if f.rule == "MON001"]
+    assert len(findings) == 1
+    assert findings[0].severity is Severity.WARNING
+
+
+def test_mon001_ignores_vocabulary_outside_monitor_paths(tmp_path):
+    project = run_fixture(
+        tmp_path,
+        {"src/other.py": 'SLO_KINDS = ("bogus",)\n'},
+        design=_MON_DESIGN,
+        rule_ids=["MON001"],
+    )
+    # only the documented-but-undeclared direction is impossible to hit
+    # here: with no tracked declarations at all, the rule stays silent
+    assert rules_of(project) == []
+
+
+def test_live_tree_mon001_clean():
+    """The real src/ + DESIGN.md must satisfy MON001 (the CI gate)."""
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parent.parent
+    config = AnalysisConfig(root=root, dirs=("src",), rule_ids=("MON001",))
+    project = run_analysis(config)
+    assert [f.message for f in project.findings] == []

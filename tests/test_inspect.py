@@ -171,7 +171,7 @@ def test_same_seed_experiments_write_byte_identical_bundles(tmp_path):
     diff = diff_bundles(read_bundle(dirs[0]), read_bundle(dirs[1]))
     assert diff["identical"] is True
     assert explain_diff(diff) == [
-        "bundles are identical (determinism digests match)"
+        "bundles are identical (determinism digests and alert sections match)"
     ]
 
 

@@ -342,3 +342,77 @@ def test_run_experiment_telemetry(tmp_path):
     assert plain.telemetry is None
     with pytest.raises(RuntimeError):
         plain.telemetry_snapshot()
+
+
+# -- small-sample quantiles (exact order statistics) ----------------------------
+
+
+def test_nearest_rank_percentile_is_an_observed_value():
+    from repro.telemetry.quantile import nearest_rank_percentile
+
+    assert nearest_rank_percentile([], 0.99) == 0.0
+    assert nearest_rank_percentile([7.0], 0.99) == 7.0
+    # ceil(q * n)-th order statistic, never an interpolation
+    vals = [1.0, 2.0, 3.0]
+    assert nearest_rank_percentile(vals, 0.99) == 3.0
+    assert nearest_rank_percentile(vals, 0.5) == 2.0
+    assert nearest_rank_percentile(vals, 0.0) == 1.0  # rank floor is 1
+    assert nearest_rank_percentile([1.0, 2.0], 0.5) == 1.0
+    with pytest.raises(ValueError):
+        nearest_rank_percentile([1.0], 1.5)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+def test_p2_tail_quantiles_exact_below_five_observations(n):
+    """Regression: p99 of a tiny window is its maximum — an actual
+    observation — not a linear interpolation 2% below anything measured."""
+    from repro.telemetry.quantile import nearest_rank_percentile
+
+    samples = [float(x) for x in range(10, 10 + n)]
+    for p in (0.5, 0.95, 0.99):
+        est = P2Quantile(p)
+        for x in samples:
+            est.observe(x)
+        assert est.value() == nearest_rank_percentile(samples, p)
+        assert est.value() in samples
+    # in particular the tail of a 3-sample window is its max
+    est = P2Quantile(0.99)
+    for x in (0.3, 0.1, 0.2):
+        est.observe(x)
+    assert est.value() == 0.3
+
+
+def test_histogram_small_sample_percentile_is_observed():
+    reg = MetricRegistry()
+    h = reg.histogram("ms_x_seconds")
+    for x in (4.0, 2.0, 8.0):
+        h.observe(x)
+    assert h.percentile(0.99) == 8.0
+    assert h.percentile(0.5) == 4.0
+
+
+# -- exposition-format HELP/TYPE lines and escaping ------------------------------
+
+
+def test_prometheus_help_lines_precede_type():
+    from repro.telemetry.export import HELP_TEXT
+
+    reg = MetricRegistry()
+    reg.counter("ms_alerts_fired_total", slo="latency-p99").inc()
+    reg.gauge("ms_alerts_active").set(1)
+    reg.counter("ms_t_total").inc()  # no HELP entry -> TYPE only
+    lines = to_prometheus(reg).splitlines()
+    for name in ("ms_alerts_fired_total", "ms_alerts_active"):
+        help_i = lines.index(f"# HELP {name} {HELP_TEXT[name]}")
+        assert lines[help_i + 1] == f"# TYPE {name} " + (
+            "counter" if name.endswith("_total") else "gauge"
+        )
+    assert "# TYPE ms_t_total counter" in lines
+    assert not any(line.startswith("# HELP ms_t_total") for line in lines)
+
+
+def test_prometheus_label_escaping_backslash_quote_newline():
+    reg = MetricRegistry()
+    reg.counter("ms_esc_total", path='a\\b"c\nd').inc(2)
+    text = to_prometheus(reg)
+    assert 'ms_esc_total{path="a\\\\b\\"c\\nd"} 2' in text.splitlines()
